@@ -1,0 +1,68 @@
+// Command prever-bench runs the PReVer experiment suite (E1–E8, see
+// DESIGN.md §3) and prints one table per experiment — the tables recorded
+// in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	prever-bench [-scale quick|full] [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"prever/internal/bench"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	onlyFlag := flag.String("only", "", "run a single experiment (E1, E1b, E2..E8)")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch strings.ToLower(*scaleFlag) {
+	case "quick":
+		scale = bench.Quick
+	case "full":
+		scale = bench.Full
+	default:
+		fmt.Fprintf(os.Stderr, "prever-bench: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	experiments := map[string]func(bench.Scale) (*bench.Table, error){
+		"E1": bench.E1YCSB,
+		"E1B": bench.E1TPCC,
+		"E2": bench.E2Verify,
+		"E3": bench.E3Federated,
+		"E4": bench.E4Consensus,
+		"E5": bench.E5Integrity,
+		"E6": bench.E6PIR,
+		"E7": bench.E7DP,
+		"E8": bench.E8Adversary,
+	}
+
+	start := time.Now()
+	if *onlyFlag != "" {
+		fn, ok := experiments[strings.ToUpper(*onlyFlag)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "prever-bench: unknown experiment %q\n", *onlyFlag)
+			os.Exit(2)
+		}
+		tbl, err := fn(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prever-bench: %v\n", err)
+			os.Exit(1)
+		}
+		tbl.Fprint(os.Stdout)
+	} else {
+		if err := bench.Run(os.Stdout, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "prever-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+}

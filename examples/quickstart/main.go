@@ -1,0 +1,80 @@
+// Quickstart: the PReVer Figure-2 pipeline in its simplest form.
+//
+//	(0) an authority defines a constraint,
+//	(1) producers send updates,
+//	(2) the manager verifies them against the constraint and the data,
+//	(3) accepted updates are incorporated,
+//	(4) everything is anchored in a verifiable ledger.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"prever"
+)
+
+func main() {
+	// A table of completed work items.
+	tasks, err := prever.NewTable("tasks",
+		prever.Column{Name: "worker", Kind: prever.KindString},
+		prever.Column{Name: "hours", Kind: prever.KindInt},
+		prever.Column{Name: "ts", Kind: prever.KindTime},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// (0) The authority defines the FLSA regulation: at most 40 hours per
+	// worker per sliding week, counting the incoming update.
+	regulation, err := prever.NewConstraint(
+		"flsa-40h",
+		"SUM(tasks.hours WHERE tasks.worker = u.worker WITHIN 168 HOURS OF u.ts) + u.hours <= 40",
+		prever.Regulation, prever.Public, "department-of-labor",
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The data manager enforces it on every update.
+	manager := prever.NewPlainManager("quickstart")
+	manager.AddTable(tasks)
+	manager.AddConstraint(regulation)
+
+	// (1)-(3) Submit a week of updates.
+	base := time.Date(2022, 3, 28, 9, 0, 0, 0, time.UTC)
+	for i, hours := range []int64{10, 10, 10, 10, 5} { // 40 then +5
+		u := prever.Update{
+			ID:       fmt.Sprintf("task-%d", i),
+			Producer: "worker-1",
+			Table:    "tasks",
+			Key:      fmt.Sprintf("task-%d", i),
+			Row: prever.Row{
+				"worker": prever.Str("worker-1"),
+				"hours":  prever.Int(hours),
+				"ts":     prever.Time(base.Add(time.Duration(i) * 24 * time.Hour)),
+			},
+			TS: base.Add(time.Duration(i) * 24 * time.Hour),
+		}
+		receipt, err := manager.Submit(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if receipt.Accepted {
+			fmt.Printf("update %s (%2dh): ACCEPTED, ledger seq %d\n", u.ID, hours, receipt.LedgerSeq)
+		} else {
+			fmt.Printf("update %s (%2dh): REJECTED — %s\n", u.ID, hours, receipt.Reason)
+		}
+	}
+
+	// (4) Integrity: any participant can audit the manager's journal
+	// against a digest obtained out of band.
+	l := manager.Ledger()
+	digest := l.Digest()
+	report := prever.AuditLedger(l.Export(), digest)
+	fmt.Printf("\nledger: %d entries, audit clean = %v, root = %s\n",
+		digest.Size, report.Clean(), digest.Root)
+}

@@ -1,0 +1,101 @@
+// Environmental sustainability (paper §2.1, Figure 1a): an organization
+// wants an environmental certificate from a certifying authority WITHOUT
+// revealing its internal statistics. The data and the updates are private;
+// the regulation (an emissions cap) is public; the database is outsourced
+// to an untrusted manager.
+//
+// This example shows BOTH Research-Challenge-1 mechanisms side by side:
+//
+//  1. The encrypted manager: reports arrive Paillier-encrypted; the
+//     manager aggregates homomorphically and learns only the verdict.
+//  2. The proof-carrying manager: the organization commits to each figure
+//     and proves in zero knowledge that the running total stays under the
+//     cap; the manager verifies pure math, no interaction needed.
+//
+// Run with: go run ./examples/sustainability
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"prever"
+)
+
+const cap40t = 1000 // the public ISO-style yearly cap, in tons
+
+func main() {
+	reports := []int64{400, 350, 200, 100} // quarters; cumulative 950 then 1050
+
+	fmt.Println("=== Mechanism 1: homomorphic encryption + comparison oracle ===")
+	encryptedFlow(reports)
+
+	fmt.Println("\n=== Mechanism 2: commitments + zero-knowledge bound proofs ===")
+	zkFlow(reports)
+}
+
+func encryptedFlow(reports []int64) {
+	setup, err := prever.NewEncryptedManager("iso-cap",
+		fmt.Sprintf("SUM(emissions.tons WHERE emissions.org = u.org) + u.tons <= %d", cap40t), 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i, tons := range reports {
+		// Producer side: encrypt under the owner's key. The manager will
+		// never see `tons`.
+		ct, err := prever.EncryptInt(setup.Key, tons)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := setup.Manager.SubmitEncrypted(prever.EncryptedUpdate{
+			ID:       fmt.Sprintf("q%d", i+1),
+			Producer: "acme",
+			Group:    "acme",
+			TS:       base.AddDate(0, 3*i, 0),
+			Enc:      map[string]*prever.HECiphertext{"tons": ct},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printVerdict(fmt.Sprintf("Q%d report (%d t, encrypted)", i+1, tons), r)
+	}
+	// The certifying authority audits the ciphertext journal.
+	l := setup.Manager.Ledger()
+	rep := prever.AuditLedger(l.Export(), l.Digest())
+	fmt.Printf("ciphertext journal audit clean = %v (%d accepted reports)\n", rep.Clean(), l.Size())
+}
+
+func zkFlow(reports []int64) {
+	// The small test group keeps the example fast; production uses
+	// prever.NewZKBoundManager (2048-bit MODP group).
+	setup, err := prever.NewZKBoundManagerWithGroup("iso-cap-zk", cap40t, prever.TestGroup())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, tons := range reports {
+		// Owner side: commit and prove (refuses if the cap would break —
+		// an honest owner cannot prove a false statement anyway).
+		u, err := setup.Owner.ProduceUpdate(fmt.Sprintf("q%d", i+1), "acme", "acme", tons)
+		if err != nil {
+			fmt.Printf("Q%d report (%d t, committed): owner refuses — %v\n", i+1, tons, err)
+			continue
+		}
+		r, err := setup.Manager.SubmitZK(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printVerdict(fmt.Sprintf("Q%d report (%d t, committed)", i+1, tons), r)
+	}
+	fmt.Printf("owner-side running total: %d t (manager only holds commitments)\n",
+		setup.Owner.Total("acme"))
+}
+
+func printVerdict(what string, r prever.Receipt) {
+	if r.Accepted {
+		fmt.Printf("%s: CERTIFIED (ledger seq %d)\n", what, r.LedgerSeq)
+	} else {
+		fmt.Printf("%s: REJECTED — %s\n", what, r.Reason)
+	}
+}

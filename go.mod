@@ -1,0 +1,3 @@
+module prever
+
+go 1.22

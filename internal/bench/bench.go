@@ -1,0 +1,132 @@
+// Package bench is the experiment harness: it regenerates every table the
+// evaluation methodology of the paper prescribes (see DESIGN.md §3 for the
+// experiment index E1–E8 and EXPERIMENTS.md for recorded results). Each
+// experiment returns a Table; cmd/prever-bench prints them all, and the
+// root-level Go benchmarks wrap the same code paths as testing.B targets.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's output, printable as an aligned text table.
+type Table struct {
+	ID     string
+	Title  string
+	Notes  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Notes != "" {
+		fmt.Fprintf(w, "   %s\n", t.Notes)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Scale selects experiment sizes.
+type Scale int
+
+// Experiment scales.
+const (
+	// Quick runs in seconds; used by tests and smoke runs.
+	Quick Scale = iota
+	// Full runs the sizes recorded in EXPERIMENTS.md.
+	Full
+)
+
+// opsRate formats operations/second.
+func opsRate(n int, d time.Duration) string {
+	if d <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f", float64(n)/d.Seconds())
+}
+
+// perOp formats time per operation.
+func perOp(n int, d time.Duration) string {
+	if n == 0 {
+		return "-"
+	}
+	us := d.Seconds() * 1e6 / float64(n)
+	switch {
+	case us >= 10000:
+		return fmt.Sprintf("%.1f ms", us/1000)
+	case us >= 1:
+		return fmt.Sprintf("%.1f µs", us)
+	default:
+		return fmt.Sprintf("%.0f ns", us*1000)
+	}
+}
+
+// Run executes every experiment and prints its table.
+func Run(w io.Writer, scale Scale) error {
+	experiments := []func(Scale) (*Table, error){
+		E1YCSB,
+		E1TPCC,
+		E2Verify,
+		E3Federated,
+		E4Consensus,
+		E5Integrity,
+		E6PIR,
+		E7DP,
+		E8Adversary,
+	}
+	for _, exp := range experiments {
+		t, err := exp(scale)
+		if err != nil {
+			return err
+		}
+		t.Fprint(w)
+	}
+	return nil
+}

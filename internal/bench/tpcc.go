@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"prever/internal/ledger"
+	"prever/internal/store"
+	"prever/internal/workload"
+)
+
+// E1TPCC is the TPC side of the paper's "TPC and YCSB" prescription: the
+// New-Order / Payment / Order-Status mix executed as multi-key
+// transactions against the plain store and the verifiable ledger. Each
+// transaction touches several keys (order header, order lines, stock,
+// customer balance), so this measures the verification overhead on
+// realistic transactional updates rather than single-key operations.
+func E1TPCC(scale Scale) (*Table, error) {
+	txs := 2000
+	if scale == Full {
+		txs = 10000
+	}
+	t := &Table{
+		ID:     "E1b",
+		Title:  "TPC-C-lite transaction mix: plain vs ledger-verified",
+		Notes:  fmt.Sprintf("%d transactions (45%% new-order, 43%% payment, 12%% order-status); 1 warehouse", txs),
+		Header: []string{"backend", "txs", "elapsed", "tx/s", "keys-written"},
+	}
+	for _, backend := range []string{"plain", "ledger"} {
+		gen, err := workload.NewTPCC(workload.TPCCConfig{Seed: 7})
+		if err != nil {
+			return nil, err
+		}
+		kv := store.NewKV()
+		l := ledger.New()
+		write := func(key string, val []byte) error {
+			if backend == "plain" {
+				kv.Put(key, val)
+				return nil
+			}
+			_, err := l.Put(key, val, "tpcc", "")
+			return err
+		}
+		read := func(key string) ([]byte, error) {
+			if backend == "plain" {
+				return kv.Get(key)
+			}
+			return l.Get(key)
+		}
+		// Seed customer balances and stock.
+		for cID := 0; cID < 3000; cID++ {
+			if err := write(fmt.Sprintf("customer/%d/balance", cID), []byte("0")); err != nil {
+				return nil, err
+			}
+		}
+		for item := 0; item < 1000; item++ {
+			if err := write(fmt.Sprintf("stock/%d", item), []byte("1000")); err != nil {
+				return nil, err
+			}
+		}
+		writes := 0
+		start := time.Now()
+		for i := 0; i < txs; i++ {
+			tx := gen.Next()
+			switch tx.Type {
+			case workload.TxNewOrder:
+				orderKey := fmt.Sprintf("order/%d/%d/%d", tx.Warehouse, tx.District, i)
+				if err := write(orderKey, []byte(fmt.Sprintf("c=%d,lines=%d", tx.Customer, len(tx.Lines)))); err != nil {
+					return nil, err
+				}
+				writes++
+				for li, line := range tx.Lines {
+					if _, err := read(fmt.Sprintf("stock/%d", line.Item)); err != nil && err != store.ErrNotFound {
+						return nil, err
+					}
+					if err := write(fmt.Sprintf("%s/line/%d", orderKey, li), []byte(fmt.Sprintf("item=%d,q=%d", line.Item, line.Quantity))); err != nil {
+						return nil, err
+					}
+					if err := write(fmt.Sprintf("stock/%d", line.Item), []byte("dec")); err != nil {
+						return nil, err
+					}
+					writes += 2
+				}
+			case workload.TxPayment:
+				balKey := fmt.Sprintf("customer/%d/balance", tx.Customer)
+				if _, err := read(balKey); err != nil && err != store.ErrNotFound {
+					return nil, err
+				}
+				if err := write(balKey, []byte(fmt.Sprintf("%d", tx.Amount))); err != nil {
+					return nil, err
+				}
+				if err := write(fmt.Sprintf("history/%d/%d", tx.Customer, i), []byte("payment")); err != nil {
+					return nil, err
+				}
+				writes += 2
+			case workload.TxOrderStatus:
+				if _, err := read(fmt.Sprintf("customer/%d/balance", tx.Customer)); err != nil && err != store.ErrNotFound {
+					return nil, err
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		t.AddRow(backend, fmt.Sprint(txs), elapsed.Round(time.Millisecond).String(), opsRate(txs, elapsed), fmt.Sprint(writes))
+	}
+	return t, nil
+}

@@ -1,0 +1,175 @@
+package blind
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	signerOnce sync.Once
+	testSigner *Signer
+)
+
+func signer(t testing.TB) *Signer {
+	signerOnce.Do(func() {
+		var err error
+		testSigner, err = NewSigner(1024, nil)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return testSigner
+}
+
+func TestBlindSignRoundTrip(t *testing.T) {
+	s := signer(t)
+	pub := s.Public()
+	msg := []byte("token-serial-0001")
+	b, err := Blind(pub, msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindSig, err := s.Sign(b.Msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := b.Unblind(blindSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(pub, msg, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignerCannotSeeMessage(t *testing.T) {
+	// Blinding the same message twice yields unrelated blinded values:
+	// the signer's view is statistically independent of the serial.
+	s := signer(t)
+	pub := s.Public()
+	msg := []byte("same-serial")
+	b1, _ := Blind(pub, msg, nil)
+	b2, _ := Blind(pub, msg, nil)
+	if b1.Msg.Cmp(b2.Msg) == 0 {
+		t.Fatal("blinding is deterministic; signer could link serials")
+	}
+}
+
+func TestUnblindedSignaturesAreStandard(t *testing.T) {
+	// Two blindings of the same message unblind to the SAME signature
+	// (deterministic RSA-FDH), so tokens are indistinguishable by issuance.
+	s := signer(t)
+	pub := s.Public()
+	msg := []byte("serial-x")
+	b1, _ := Blind(pub, msg, nil)
+	b2, _ := Blind(pub, msg, nil)
+	s1, _ := s.Sign(b1.Msg)
+	s2, _ := s.Sign(b2.Msg)
+	u1, err1 := b1.Unblind(s1)
+	u2, err2 := b2.Unblind(s2)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if u1.Cmp(u2) != 0 {
+		t.Fatal("unblinded signatures differ for the same message")
+	}
+}
+
+func TestVerifyRejectsForgery(t *testing.T) {
+	s := signer(t)
+	pub := s.Public()
+	msg := []byte("serial")
+	b, _ := Blind(pub, msg, nil)
+	blindSig, _ := s.Sign(b.Msg)
+	sig, _ := b.Unblind(blindSig)
+	if Verify(pub, []byte("other-serial"), sig) == nil {
+		t.Fatal("signature verified for a different message")
+	}
+	bad := new(big.Int).Add(sig, big.NewInt(1))
+	if Verify(pub, msg, bad) == nil {
+		t.Fatal("tampered signature verified")
+	}
+	if Verify(pub, msg, nil) == nil {
+		t.Fatal("nil signature verified")
+	}
+	if Verify(pub, msg, new(big.Int).Set(pub.N)) == nil {
+		t.Fatal("out-of-range signature verified")
+	}
+}
+
+func TestSignRejectsGarbage(t *testing.T) {
+	s := signer(t)
+	if _, err := s.Sign(nil); err == nil {
+		t.Fatal("nil blinded message signed")
+	}
+	if _, err := s.Sign(big.NewInt(0)); err == nil {
+		t.Fatal("zero blinded message signed")
+	}
+	if _, err := s.Sign(new(big.Int).Set(s.Public().N)); err == nil {
+		t.Fatal("out-of-range blinded message signed")
+	}
+}
+
+func TestUnblindDetectsCheatingSigner(t *testing.T) {
+	s := signer(t)
+	pub := s.Public()
+	b, _ := Blind(pub, []byte("serial"), nil)
+	// A cheating signer returns garbage instead of a real signature.
+	if _, err := b.Unblind(big.NewInt(12345)); err == nil {
+		t.Fatal("cheating signer not detected at unblind time")
+	}
+	if _, err := b.Unblind(nil); err == nil {
+		t.Fatal("nil blind signature accepted")
+	}
+}
+
+// Property: the full blind-sign protocol round trips for arbitrary
+// messages.
+func TestQuickBlindRoundTrip(t *testing.T) {
+	s := signer(t)
+	pub := s.Public()
+	f := func(msg []byte) bool {
+		b, err := Blind(pub, msg, nil)
+		if err != nil {
+			return false
+		}
+		bs, err := s.Sign(b.Msg)
+		if err != nil {
+			return false
+		}
+		sig, err := b.Unblind(bs)
+		if err != nil {
+			return false
+		}
+		return Verify(pub, msg, sig) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBlindSignVerify(b *testing.B) {
+	s := signer(b)
+	pub := s.Public()
+	msg := []byte("token-serial")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl, err := Blind(pub, msg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bs, err := s.Sign(bl.Msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sig, err := bl.Unblind(bs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := Verify(pub, msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

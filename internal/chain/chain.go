@@ -1,0 +1,452 @@
+// Package chain implements a permissioned blockchain on top of the PBFT
+// substrate: hash-chained blocks with Merkle transaction roots, a
+// materialized world state per peer, Fabric-style private data collections
+// (only a hash on chain; the value distributed to collection members), and
+// SharPer-style sharding with two-phase cross-shard transactions.
+//
+// This is PReVer's integrity layer for federated settings (Research
+// Challenge 4): mutually distrustful data managers run peers; updates
+// become transactions ordered by PBFT; any participant can audit the
+// block chain and prove a transaction's inclusion.
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prever/internal/merkle"
+	"prever/internal/netsim"
+	"prever/internal/pbft"
+	"prever/internal/store"
+)
+
+// TxKind is the transaction type.
+type TxKind uint8
+
+// Supported transaction kinds.
+const (
+	TxPut TxKind = iota + 1
+	TxDelete
+	TxPrivatePut   // public hash, private value held by collection members
+	TxCrossPrepare // phase 1 of a cross-shard transaction
+	TxCrossCommit  // phase 2: apply the prepared writes
+	TxCrossAbort   // phase 2 alternative: discard the prepared writes
+	TxPutOnce      // write only if the key is absent (first writer wins)
+)
+
+// Tx is one blockchain transaction.
+type Tx struct {
+	ID         string   `json:"id"`
+	Kind       TxKind   `json:"kind"`
+	Collection string   `json:"collection,omitempty"` // private collections only
+	Key        string   `json:"key,omitempty"`
+	Value      []byte   `json:"value,omitempty"`
+	ValueHash  [32]byte `json:"valueHash,omitempty"` // private puts
+	XID        string   `json:"xid,omitempty"`       // cross-shard tx id
+	Writes     []Tx     `json:"writes,omitempty"`    // cross-prepare payload
+}
+
+// Block is one chained block of transactions.
+type Block struct {
+	Height   uint64   `json:"height"`
+	PrevHash [32]byte `json:"prev"`
+	TxRoot   [32]byte `json:"txroot"`
+	Txs      []Tx     `json:"txs"`
+	Hash     [32]byte `json:"hash"`
+}
+
+func txBytes(tx Tx) []byte {
+	b, err := json.Marshal(tx)
+	if err != nil {
+		panic(fmt.Sprintf("chain: marshal tx: %v", err))
+	}
+	return b
+}
+
+func txRoot(txs []Tx) [32]byte {
+	t := merkle.New()
+	for _, tx := range txs {
+		t.Append(txBytes(tx))
+	}
+	return [32]byte(t.Root())
+}
+
+func blockHash(b *Block) [32]byte {
+	h := sha256.New()
+	var height [8]byte
+	for i := 0; i < 8; i++ {
+		height[i] = byte(b.Height >> (8 * i))
+	}
+	h.Write(height[:])
+	h.Write(b.PrevHash[:])
+	h.Write(b.TxRoot[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// HashValue hashes a private value the way TxPrivatePut expects.
+func HashValue(v []byte) [32]byte { return sha256.Sum256(v) }
+
+// Peer is one organization's node: it holds the block chain, the public
+// world state, and the private collections it is a member of.
+type Peer struct {
+	id          string
+	collections map[string]bool
+
+	mu       sync.Mutex
+	blocks   []Block
+	state    *store.KV
+	private  map[string]*store.KV // collection -> private state
+	pendingP map[string][]byte    // txID -> private value awaiting commit
+	prepared map[string][]Tx      // xid -> prepared cross-shard writes
+}
+
+func newPeer(id string, collections []string) *Peer {
+	p := &Peer{
+		id:          id,
+		collections: make(map[string]bool),
+		state:       store.NewKV(),
+		private:     make(map[string]*store.KV),
+		pendingP:    make(map[string][]byte),
+		prepared:    make(map[string][]Tx),
+	}
+	for _, c := range collections {
+		p.collections[c] = true
+		p.private[c] = store.NewKV()
+	}
+	return p
+}
+
+// ID returns the peer id.
+func (p *Peer) ID() string { return p.id }
+
+// Height returns the number of blocks.
+func (p *Peer) Height() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.blocks)
+}
+
+// Blocks exports a copy of the chain for auditing.
+func (p *Peer) Blocks() []Block {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Block, len(p.blocks))
+	copy(out, p.blocks)
+	return out
+}
+
+// Get reads the public world state.
+func (p *Peer) Get(key string) ([]byte, error) {
+	return p.state.Get(key)
+}
+
+// GetPrivate reads a private collection this peer is a member of.
+func (p *Peer) GetPrivate(collection, key string) ([]byte, error) {
+	p.mu.Lock()
+	kv, ok := p.private[collection]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("chain: peer %s is not a member of collection %q", p.id, collection)
+	}
+	return kv.Get(key)
+}
+
+// StagePrivateValue pre-positions a private value (distributed off-chain
+// by the writer) so that when the on-chain hash commits, the peer can
+// validate and store it.
+func (p *Peer) StagePrivateValue(txID string, value []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	p.pendingP[txID] = cp
+}
+
+// applyBatch turns one executed PBFT batch into a block and applies it.
+func (p *Peer) applyBatch(txs []Tx) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	blk := Block{
+		Height: uint64(len(p.blocks)),
+		TxRoot: txRoot(txs),
+		Txs:    txs,
+	}
+	if len(p.blocks) > 0 {
+		blk.PrevHash = p.blocks[len(p.blocks)-1].Hash
+	}
+	blk.Hash = blockHash(&blk)
+	p.blocks = append(p.blocks, blk)
+	for _, tx := range txs {
+		p.applyTxLocked(tx)
+	}
+}
+
+func (p *Peer) applyTxLocked(tx Tx) {
+	switch tx.Kind {
+	case TxPut:
+		p.state.Put(tx.Key, tx.Value)
+	case TxPutOnce:
+		if _, err := p.state.Get(tx.Key); err != nil {
+			p.state.Put(tx.Key, tx.Value)
+		}
+	case TxDelete:
+		p.state.Delete(tx.Key)
+	case TxPrivatePut:
+		// On-chain: record the hash publicly so everyone can audit.
+		p.state.Put("hash/"+tx.Collection+"/"+tx.Key, tx.ValueHash[:])
+		// Members store the value if the staged copy matches the hash.
+		if p.collections[tx.Collection] {
+			if v, ok := p.pendingP[tx.ID]; ok && HashValue(v) == tx.ValueHash {
+				p.private[tx.Collection].Put(tx.Key, v)
+			}
+			delete(p.pendingP, tx.ID)
+		}
+	case TxCrossPrepare:
+		p.prepared[tx.XID] = tx.Writes
+	case TxCrossCommit:
+		if writes, ok := p.prepared[tx.XID]; ok {
+			for _, w := range writes {
+				p.applyTxLocked(w)
+			}
+			delete(p.prepared, tx.XID)
+		}
+	case TxCrossAbort:
+		delete(p.prepared, tx.XID)
+	}
+}
+
+// VerifyBlocks audits an exported chain: hash links and transaction roots.
+// Returns the height of the first bad block, or -1 if clean.
+func VerifyBlocks(blocks []Block) (int, error) {
+	var prev [32]byte
+	for i := range blocks {
+		b := &blocks[i]
+		if b.Height != uint64(i) {
+			return i, fmt.Errorf("chain: block %d has height %d", i, b.Height)
+		}
+		if b.PrevHash != prev {
+			return i, fmt.Errorf("chain: block %d breaks the hash chain", i)
+		}
+		if txRoot(b.Txs) != b.TxRoot {
+			return i, fmt.Errorf("chain: block %d transaction root mismatch", i)
+		}
+		if blockHash(b) != b.Hash {
+			return i, fmt.Errorf("chain: block %d hash mismatch", i)
+		}
+		prev = b.Hash
+	}
+	return -1, nil
+}
+
+// ProveTx builds a Merkle inclusion proof for transaction index txIdx of
+// block height h, verifiable against the block's TxRoot.
+func (p *Peer) ProveTx(height uint64, txIdx int) (merkle.InclusionProof, Tx, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if height >= uint64(len(p.blocks)) {
+		return merkle.InclusionProof{}, Tx{}, fmt.Errorf("chain: height %d beyond chain (%d)", height, len(p.blocks))
+	}
+	blk := p.blocks[height]
+	if txIdx < 0 || txIdx >= len(blk.Txs) {
+		return merkle.InclusionProof{}, Tx{}, fmt.Errorf("chain: tx index %d out of range", txIdx)
+	}
+	t := merkle.New()
+	for _, tx := range blk.Txs {
+		t.Append(txBytes(tx))
+	}
+	proof, err := t.ProveInclusion(txIdx, len(blk.Txs))
+	if err != nil {
+		return merkle.InclusionProof{}, Tx{}, err
+	}
+	return proof, blk.Txs[txIdx], nil
+}
+
+// VerifyTxProof checks a transaction inclusion proof against a block.
+func VerifyTxProof(proof merkle.InclusionProof, tx Tx, blk Block) error {
+	return merkle.VerifyInclusion(proof, txBytes(tx), merkle.Hash(blk.TxRoot))
+}
+
+// Shard is one PBFT cluster of peers ordering a partition of the key
+// space.
+type Shard struct {
+	Name     string
+	peers    []*Peer
+	replicas []*pbft.Replica
+	seq      atomic.Uint64
+	timeout  time.Duration
+}
+
+// ShardConfig configures one shard.
+type ShardConfig struct {
+	Name        string
+	F           int                 // tolerated Byzantine peers (n = 3f+1)
+	Collections map[string][]string // collection -> member peer ids
+	PBFT        pbft.Options
+	Timeout     time.Duration // per-transaction commit timeout
+}
+
+// NewShard builds a shard of 3F+1 peers on the network.
+func NewShard(net *netsim.Network, cfg ShardConfig) (*Shard, error) {
+	if cfg.F < 1 {
+		return nil, errors.New("chain: f must be >= 1")
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	n := 3*cfg.F + 1
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%s/peer%d", cfg.Name, i)
+	}
+	memberOf := func(peerID string) []string {
+		var out []string
+		for coll, members := range cfg.Collections {
+			for _, m := range members {
+				if m == peerID {
+					out = append(out, coll)
+				}
+			}
+		}
+		return out
+	}
+	s := &Shard{Name: cfg.Name, timeout: cfg.Timeout}
+	for _, id := range ids {
+		peer := newPeer(id, memberOf(id))
+		s.peers = append(s.peers, peer)
+		replica, err := pbft.NewReplica(net, id, ids, cfg.F, func(_ uint64, batch []pbft.Request) {
+			txs := make([]Tx, 0, len(batch))
+			for _, req := range batch {
+				var tx Tx
+				if json.Unmarshal(req.Op, &tx) == nil {
+					txs = append(txs, tx)
+				}
+			}
+			if len(txs) > 0 {
+				peer.applyBatch(txs)
+			}
+		}, cfg.PBFT)
+		if err != nil {
+			return nil, err
+		}
+		s.replicas = append(s.replicas, replica)
+	}
+	return s, nil
+}
+
+// Peers returns the shard's peers.
+func (s *Shard) Peers() []*Peer { return s.peers }
+
+// Primary returns the replica currently acting as primary (for submits).
+func (s *Shard) primaryReplica() *pbft.Replica {
+	want := s.replicas[0].Primary()
+	for _, r := range s.replicas {
+		if r.ID() == want {
+			return r
+		}
+	}
+	return s.replicas[0]
+}
+
+// Submit orders a transaction through consensus and blocks until it
+// commits on the primary.
+func (s *Shard) Submit(tx Tx) error {
+	if tx.ID == "" {
+		tx.ID = fmt.Sprintf("%s-tx-%d", s.Name, s.seq.Add(1))
+	}
+	op := txBytes(tx)
+	return s.primaryReplica().Submit("chain/"+s.Name, s.seq.Add(1), op, s.timeout)
+}
+
+// SubmitPrivate distributes a private value to collection members
+// off-chain, then orders the on-chain hash.
+func (s *Shard) SubmitPrivate(collection, key string, value []byte) error {
+	tx := Tx{
+		ID:         fmt.Sprintf("%s-ptx-%d", s.Name, s.seq.Add(1)),
+		Kind:       TxPrivatePut,
+		Collection: collection,
+		Key:        key,
+		ValueHash:  HashValue(value),
+	}
+	for _, p := range s.peers {
+		if p.collections[collection] {
+			p.StagePrivateValue(tx.ID, value)
+		}
+	}
+	return s.Submit(tx)
+}
+
+// Sharded is a SharPer-style multi-shard chain: the key space is
+// partitioned across shards; cross-shard transactions run a two-phase
+// prepare/commit with the client as coordinator, each phase ordered by the
+// involved shards' consensus.
+type Sharded struct {
+	shards []*Shard
+	xseq   atomic.Uint64
+}
+
+// NewSharded groups shards into one logical chain.
+func NewSharded(shards ...*Shard) (*Sharded, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("chain: need at least one shard")
+	}
+	return &Sharded{shards: shards}, nil
+}
+
+// Shards returns the shard list.
+func (c *Sharded) Shards() []*Shard { return c.shards }
+
+// ShardFor maps a key to its home shard.
+func (c *Sharded) ShardFor(key string) *Shard {
+	h := sha256.Sum256([]byte(key))
+	idx := int(h[0]) % len(c.shards)
+	return c.shards[idx]
+}
+
+// Submit routes a single-shard transaction by key.
+func (c *Sharded) Submit(tx Tx) error {
+	return c.ShardFor(tx.Key).Submit(tx)
+}
+
+// SubmitCross atomically applies writes that span multiple shards:
+// phase 1 orders a prepare (carrying each shard's writes) on every
+// involved shard; phase 2 orders the commit. If any prepare fails, aborts
+// are sent to the prepared shards.
+func (c *Sharded) SubmitCross(writes []Tx) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	xid := fmt.Sprintf("xtx-%d", c.xseq.Add(1))
+	// Group writes by home shard.
+	byShard := make(map[*Shard][]Tx)
+	for _, w := range writes {
+		s := c.ShardFor(w.Key)
+		byShard[s] = append(byShard[s], w)
+	}
+	// Phase 1: prepare everywhere.
+	var preparedShards []*Shard
+	for s, ws := range byShard {
+		err := s.Submit(Tx{Kind: TxCrossPrepare, XID: xid, Writes: ws})
+		if err != nil {
+			for _, ps := range preparedShards {
+				_ = ps.Submit(Tx{Kind: TxCrossAbort, XID: xid})
+			}
+			return fmt.Errorf("chain: cross-shard prepare failed on %s: %w", s.Name, err)
+		}
+		preparedShards = append(preparedShards, s)
+	}
+	// Phase 2: commit everywhere.
+	var firstErr error
+	for s := range byShard {
+		if err := s.Submit(Tx{Kind: TxCrossCommit, XID: xid}); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("chain: cross-shard commit failed on %s: %w", s.Name, err)
+		}
+	}
+	return firstErr
+}

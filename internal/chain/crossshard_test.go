@@ -1,0 +1,144 @@
+package chain
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"prever/internal/netsim"
+	"prever/internal/store"
+)
+
+// TestCrossShardAbortDiscardsPreparedWrites drives the 2PC abort path
+// directly: a prepare followed by an abort must leave no trace in the
+// world state, and a later commit for the same xid must be a no-op.
+func TestCrossShardAbortDiscardsPreparedWrites(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	s, err := NewShard(net, ShardConfig{Name: "ab", F: 1, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := []Tx{{Kind: TxPut, Key: "k", Value: []byte("v")}}
+	if err := s.Submit(Tx{Kind: TxCrossPrepare, XID: "x1", Writes: writes}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(Tx{Kind: TxCrossAbort, XID: "x1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Commit after abort must not resurrect the writes.
+	if err := s.Submit(Tx{Kind: TxCrossCommit, XID: "x1"}); err != nil {
+		t.Fatal(err)
+	}
+	waitShardHeight(t, s, 3)
+	for _, p := range s.Peers() {
+		if _, err := p.Get("k"); err != store.ErrNotFound {
+			t.Fatalf("peer %s applied aborted writes: %v", p.ID(), err)
+		}
+	}
+}
+
+// TestCrossShardCommitWithoutPrepareIsNoop: a commit for an unknown xid
+// must not corrupt state.
+func TestCrossShardCommitWithoutPrepareIsNoop(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	s, err := NewShard(net, ShardConfig{Name: "np", F: 1, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(Tx{Kind: TxCrossCommit, XID: "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	waitShardHeight(t, s, 1)
+	if bad, err := VerifyBlocks(s.Peers()[0].Blocks()); bad != -1 {
+		t.Fatalf("chain corrupt after no-op commit: %v", err)
+	}
+}
+
+// TestPutOnceFirstWriterWins exercises the spent-token primitive.
+func TestPutOnceFirstWriterWins(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	s, err := NewShard(net, ShardConfig{Name: "po", F: 1, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(Tx{Kind: TxPutOnce, Key: "spent/serial1", Value: []byte("claimA")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(Tx{Kind: TxPutOnce, Key: "spent/serial1", Value: []byte("claimB")}); err != nil {
+		t.Fatal(err)
+	}
+	waitShardHeight(t, s, 2)
+	for _, p := range s.Peers() {
+		v, err := p.Get("spent/serial1")
+		if err != nil || string(v) != "claimA" {
+			t.Fatalf("peer %s: %q, %v (second writer overwrote)", p.ID(), v, err)
+		}
+	}
+}
+
+func waitShardHeight(t *testing.T, s *Shard, h int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for _, p := range s.Peers() {
+		for time.Now().Before(deadline) && p.Height() < h {
+			time.Sleep(time.Millisecond)
+		}
+		if p.Height() < h {
+			t.Fatalf("peer %s height %d < %d", p.ID(), p.Height(), h)
+		}
+	}
+}
+
+// TestCrossShardPartialPrepareAborts: when one shard cannot prepare (its
+// consensus is partitioned), the coordinator aborts the prepared shards
+// and no write becomes visible anywhere.
+func TestCrossShardPartialPrepareAborts(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	var shards []*Shard
+	for i := 0; i < 2; i++ {
+		s, err := NewShard(net, ShardConfig{Name: fmt.Sprintf("ps%d", i), F: 1, Timeout: 300 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, s)
+	}
+	c, err := NewSharded(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find keys on each shard.
+	var k0, k1 string
+	for i := 0; k0 == "" || k1 == ""; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.ShardFor(k) == shards[0] && k0 == "" {
+			k0 = k
+		}
+		if c.ShardFor(k) == shards[1] && k1 == "" {
+			k1 = k
+		}
+	}
+	// Break shard 1's quorum: isolate three of its four peers.
+	net.Partition(
+		[]string{"ps1/peer1"}, []string{"ps1/peer2"}, []string{"ps1/peer3"},
+	)
+	err = c.SubmitCross([]Tx{
+		{Kind: TxPut, Key: k0, Value: []byte("left")},
+		{Kind: TxPut, Key: k1, Value: []byte("right")},
+	})
+	if err == nil {
+		t.Fatal("cross-shard tx succeeded with a dead shard")
+	}
+	net.Heal()
+	// After healing, neither key may be visible (atomicity).
+	time.Sleep(50 * time.Millisecond)
+	if _, gerr := shards[0].Peers()[0].Get(k0); gerr != store.ErrNotFound {
+		t.Fatalf("aborted cross-shard write visible on shard 0: %v", gerr)
+	}
+	if _, gerr := shards[1].Peers()[0].Get(k1); gerr != store.ErrNotFound {
+		t.Fatalf("aborted cross-shard write visible on shard 1: %v", gerr)
+	}
+}

@@ -1,0 +1,164 @@
+package constraint
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"prever/internal/store"
+)
+
+// Expr is a node of the constraint AST.
+type Expr interface {
+	// String renders the node back to (canonical) source form.
+	String() string
+}
+
+// Lit is a literal value.
+type Lit struct {
+	Value store.Value
+}
+
+func (l *Lit) String() string {
+	if l.Value.Kind == store.KindString {
+		return "'" + strings.ReplaceAll(l.Value.S, "'", "''") + "'"
+	}
+	return l.Value.String()
+}
+
+// Ref is a qualified column reference: base.field. Base "u" refers to the
+// incoming update; any other base refers to the named table's current row
+// during an aggregate scan.
+type Ref struct {
+	Base  string
+	Field string
+}
+
+func (r *Ref) String() string { return r.Base + "." + r.Field }
+
+// BinaryOp enumerates binary operators.
+type BinaryOp string
+
+// Binary operators.
+const (
+	OpEq  BinaryOp = "="
+	OpNeq BinaryOp = "!="
+	OpLt  BinaryOp = "<"
+	OpLte BinaryOp = "<="
+	OpGt  BinaryOp = ">"
+	OpGte BinaryOp = ">="
+	OpAdd BinaryOp = "+"
+	OpSub BinaryOp = "-"
+	OpMul BinaryOp = "*"
+	OpDiv BinaryOp = "/"
+	OpAnd BinaryOp = "AND"
+	OpOr  BinaryOp = "OR"
+)
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Not negates a Boolean expression.
+type Not struct {
+	X Expr
+}
+
+func (n *Not) String() string { return fmt.Sprintf("(NOT %s)", n.X) }
+
+// Neg is arithmetic negation.
+type Neg struct {
+	X Expr
+}
+
+func (n *Neg) String() string { return fmt.Sprintf("(-%s)", n.X) }
+
+// Between is x BETWEEN lo AND hi (inclusive).
+type Between struct {
+	X, Lo, Hi Expr
+}
+
+func (b *Between) String() string {
+	return fmt.Sprintf("(%s BETWEEN %s AND %s)", b.X, b.Lo, b.Hi)
+}
+
+// In is x IN (v1, v2, ...).
+type In struct {
+	X    Expr
+	List []Expr
+}
+
+func (i *In) String() string {
+	parts := make([]string, len(i.List))
+	for j, e := range i.List {
+		parts[j] = e.String()
+	}
+	return fmt.Sprintf("(%s IN (%s))", i.X, strings.Join(parts, ", "))
+}
+
+// AggFn enumerates aggregate functions.
+type AggFn string
+
+// Aggregate functions.
+const (
+	FnCount AggFn = "COUNT"
+	FnSum   AggFn = "SUM"
+	FnAvg   AggFn = "AVG"
+	FnMin   AggFn = "MIN"
+	FnMax   AggFn = "MAX"
+)
+
+// Window restricts an aggregate to rows whose timestamp column falls
+// within Dur of the anchor expression: "WITHIN 168 HOURS OF u.ts". The
+// window is [anchor - Dur, anchor].
+type Window struct {
+	Dur    time.Duration
+	Anchor Expr
+	// TimeField is the scanned table's timestamp column; defaults to "ts".
+	TimeField string
+}
+
+func (w *Window) String() string {
+	hours := w.Dur / time.Hour
+	if hours*time.Hour == w.Dur {
+		return fmt.Sprintf("WITHIN %d HOURS OF %s", hours, w.Anchor)
+	}
+	return fmt.Sprintf("WITHIN %d MINUTES OF %s", w.Dur/time.Minute, w.Anchor)
+}
+
+// Agg is an aggregate over a table: FN(table.column [WHERE cond] [WITHIN
+// n HOURS OF expr]). COUNT takes a bare table name (no column).
+type Agg struct {
+	Fn     AggFn
+	Table  string
+	Column string // empty for COUNT(table)
+	Where  Expr   // optional filter; refs with base == Table bind to each row
+	Window *Window
+}
+
+func (a *Agg) String() string {
+	var sb strings.Builder
+	sb.WriteString(string(a.Fn))
+	sb.WriteByte('(')
+	sb.WriteString(a.Table)
+	if a.Column != "" {
+		sb.WriteByte('.')
+		sb.WriteString(a.Column)
+	}
+	if a.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(a.Where.String())
+	}
+	if a.Window != nil {
+		sb.WriteByte(' ')
+		sb.WriteString(a.Window.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

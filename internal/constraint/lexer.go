@@ -1,0 +1,158 @@
+// Package constraint implements PReVer's constraint and regulation
+// language: SQL-style Boolean expressions evaluated over an incoming
+// update and the current database state (Section 3.2 of the paper —
+// "a constraint is essentially a Boolean function computed over the
+// database and an incoming update").
+//
+// The language supports comparisons, Boolean connectives, arithmetic,
+// BETWEEN/IN, and aggregate functions (COUNT, SUM, AVG, MIN, MAX) over
+// named tables with optional WHERE filters and sliding time windows —
+// the paper's motivating example is expressible directly:
+//
+//	SUM(tasks.hours WHERE tasks.worker = u.worker
+//	    WITHIN 168 HOURS OF u.ts) + u.hours <= 40
+//
+// Besides plaintext evaluation, the package compiles bound-shaped
+// constraints to a linear form (linear.go) that the encrypted manager
+// checks homomorphically (Research Challenge 1) and federated managers
+// check via tokens or MPC (Research Challenge 2).
+package constraint
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp      // = != < <= > >= + - * / ( ) , .
+	tokKeyword // AND OR NOT BETWEEN IN WHERE WITHIN OF TRUE FALSE NULL HOURS DAYS MINUTES
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// keywords are reserved words. Time units (HOURS, DAYS, MINUTES) are
+// deliberately NOT reserved — they are contextual, recognized only inside
+// a WITHIN clause, so columns may be named "hours".
+var keywords = map[string]bool{
+	"AND": true, "OR": true, "NOT": true, "BETWEEN": true, "IN": true,
+	"WHERE": true, "WITHIN": true, "OF": true, "TRUE": true, "FALSE": true,
+	"NULL": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("constraint: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case unicode.IsDigit(c):
+			start := i
+			seenDot := false
+			for i < len(src) && (unicode.IsDigit(rune(src[i])) || (src[i] == '.' && !seenDot)) {
+				if src[i] == '.' {
+					// A dot not followed by a digit belongs to the next
+					// token, not this number.
+					if i+1 >= len(src) || !unicode.IsDigit(rune(src[i+1])) {
+						break
+					}
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, token{tokNumber, src[start:i], start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			word := src[start:i]
+			if keywords[strings.ToUpper(word)] {
+				toks = append(toks, token{tokKeyword, strings.ToUpper(word), start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					// '' escapes a quote.
+					if i+1 < len(src) && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, &SyntaxError{start, "unterminated string literal"}
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case strings.ContainsRune("=+-*/(),.", c):
+			toks = append(toks, token{tokOp, string(c), i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, &SyntaxError{i, "unexpected '!'"}
+			}
+		case c == '<':
+			switch {
+			case i+1 < len(src) && src[i+1] == '=':
+				toks = append(toks, token{tokOp, "<=", i})
+				i += 2
+			case i+1 < len(src) && src[i+1] == '>':
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			default:
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		default:
+			return nil, &SyntaxError{i, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}

@@ -1,0 +1,366 @@
+package constraint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"prever/internal/store"
+)
+
+// Parse compiles constraint source text into an AST.
+//
+// Grammar (precedence low to high):
+//
+//	expr    := and { OR and }
+//	and     := not { AND not }
+//	not     := NOT not | cmp
+//	cmp     := sum [ (=|!=|<|<=|>|>=) sum
+//	               | BETWEEN sum AND sum
+//	               | IN '(' literal {',' literal} ')' ]
+//	sum     := term { (+|-) term }
+//	term    := unary { (*|/) unary }
+//	unary   := '-' unary | primary
+//	primary := literal | agg | ref | '(' expr ')'
+//	agg     := FN '(' table ['.' column] [WHERE expr]
+//	               [WITHIN number (MINUTES|HOURS|DAYS) OF sum] ')'
+//	ref     := ident '.' ident
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected %q after expression", p.cur().text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics; for package-level fixtures in tests and
+// examples.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.cur().kind == kind && (text == "" || p.cur().text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) error {
+	if !p.accept(kind, text) {
+		return p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]BinaryOp{
+	"=": OpEq, "!=": OpNeq, "<": OpLt, "<=": OpLte, ">": OpGt, ">=": OpGte,
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	left, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokOp {
+		if op, ok := cmpOps[p.cur().text]; ok {
+			p.pos++
+			right, err := p.parseSum()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: left, R: right}, nil
+		}
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: left, Lo: lo, Hi: hi}, nil
+	}
+	if p.accept(tokKeyword, "IN") {
+		if err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			item, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, item)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &In{X: left, List: list}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseSum() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && (p.cur().text == "+" || p.cur().text == "-") {
+		op := OpAdd
+		if p.next().text == "-" {
+			op = OpSub
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && (p.cur().text == "*" || p.cur().text == "/") {
+		op := OpMul
+		if p.next().text == "/" {
+			op = OpDiv
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.cur().kind == tokOp && p.cur().text == "-" {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggFns = map[string]AggFn{
+	"COUNT": FnCount, "SUM": FnSum, "AVG": FnAvg, "MIN": FnMin, "MAX": FnMax,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Lit{Value: store.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Lit{Value: store.Int(n)}, nil
+	case tokString:
+		p.pos++
+		return &Lit{Value: store.String_(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			p.pos++
+			return &Lit{Value: store.Bool(true)}, nil
+		case "FALSE":
+			p.pos++
+			return &Lit{Value: store.Bool(false)}, nil
+		case "NULL":
+			p.pos++
+			return &Lit{Value: store.Null()}, nil
+		}
+		return nil, p.errf("unexpected keyword %q", t.text)
+	case tokOp:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected %q", t.text)
+	case tokIdent:
+		name := t.text
+		// Aggregate call?
+		if fn, ok := aggFns[strings.ToUpper(name)]; ok && p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "(" {
+			p.pos += 2 // consume FN and '('
+			return p.parseAggBody(fn)
+		}
+		// Qualified reference base.field.
+		p.pos++
+		if !p.accept(tokOp, ".") {
+			return nil, p.errf("expected '.' after identifier %q (all references are qualified)", name)
+		}
+		f := p.cur()
+		if f.kind != tokIdent {
+			return nil, p.errf("expected field name after %q.", name)
+		}
+		p.pos++
+		return &Ref{Base: name, Field: f.text}, nil
+	default:
+		return nil, p.errf("unexpected token %q", t.text)
+	}
+}
+
+func (p *parser) parseAggBody(fn AggFn) (Expr, error) {
+	tbl := p.cur()
+	if tbl.kind != tokIdent {
+		return nil, p.errf("expected table name in aggregate")
+	}
+	p.pos++
+	agg := &Agg{Fn: fn, Table: tbl.text}
+	if p.accept(tokOp, ".") {
+		col := p.cur()
+		if col.kind != tokIdent {
+			return nil, p.errf("expected column name after %q.", tbl.text)
+		}
+		p.pos++
+		agg.Column = col.text
+	}
+	if fn != FnCount && agg.Column == "" {
+		return nil, p.errf("%s requires table.column", fn)
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		agg.Where = cond
+	}
+	if p.accept(tokKeyword, "WITHIN") {
+		n := p.cur()
+		if n.kind != tokNumber {
+			return nil, p.errf("expected number after WITHIN")
+		}
+		p.pos++
+		amount, err := strconv.ParseInt(n.text, 10, 64)
+		if err != nil || amount <= 0 {
+			return nil, p.errf("bad window size %q", n.text)
+		}
+		var unit time.Duration
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected MINUTES, HOURS or DAYS")
+		}
+		switch strings.ToUpper(p.cur().text) {
+		case "MINUTES":
+			unit = time.Minute
+		case "HOURS":
+			unit = time.Hour
+		case "DAYS":
+			unit = 24 * time.Hour
+		default:
+			return nil, p.errf("expected MINUTES, HOURS or DAYS, found %q", p.cur().text)
+		}
+		p.pos++
+		if err := p.expect(tokKeyword, "OF"); err != nil {
+			return nil, err
+		}
+		anchor, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		agg.Window = &Window{Dur: time.Duration(amount) * unit, Anchor: anchor, TimeField: "ts"}
+	}
+	if err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}

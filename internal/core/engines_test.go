@@ -1,0 +1,801 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+	"time"
+
+	"prever/internal/commit"
+	"prever/internal/constraint"
+	"prever/internal/group"
+	"prever/internal/he"
+	"prever/internal/ledger"
+	"prever/internal/mpc"
+	"prever/internal/token"
+)
+
+// --- shared fixtures (crypto setup is expensive; share across tests) ---
+
+var (
+	fixOnce   sync.Once
+	fixHelper *mpc.Helper
+	fixAuth   *token.Authority
+)
+
+func fixtures(t testing.TB) (*mpc.Helper, *token.Authority) {
+	fixOnce.Do(func() {
+		var err error
+		fixHelper, err = mpc.NewHelper(256)
+		if err != nil {
+			panic(err)
+		}
+		fixAuth, err = token.NewAuthority(1024, nil)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return fixHelper, fixAuth
+}
+
+// --- EncryptedManager (RC1) ---
+
+func newEncrypted(t testing.TB) (*EncryptedManager, *he.PublicKey) {
+	t.Helper()
+	helper, _ := fixtures(t)
+	form, ok := constraint.CompileBound(constraint.MustParse(flsaSource))
+	if !ok {
+		t.Fatal("FLSA not linear")
+	}
+	spec, err := DeriveBoundSpec("flsa", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewEncryptedManager("enc", helper.PublicKey(), helper, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, helper.PublicKey()
+}
+
+func encUpdate(t testing.TB, pk *he.PublicKey, id, worker string, hours int64, ts time.Time) EncryptedUpdate {
+	t.Helper()
+	ct, err := pk.EncryptInt(hours, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return EncryptedUpdate{
+		ID:       id,
+		Producer: worker,
+		Group:    worker,
+		TS:       ts,
+		Enc:      map[string]*he.Ciphertext{"hours": ct},
+	}
+}
+
+func TestEncryptedManagerEnforcesFLSA(t *testing.T) {
+	m, pk := newEncrypted(t)
+	for i := 0; i < 5; i++ {
+		u := encUpdate(t, pk, fmt.Sprintf("t%d", i), "w1", 8, tBase().Add(time.Duration(i)*time.Hour))
+		r, err := m.SubmitEncrypted(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Accepted {
+			t.Fatalf("update %d rejected: %s", i, r.Reason)
+		}
+	}
+	r, err := m.SubmitEncrypted(encUpdate(t, pk, "t5", "w1", 1, tBase().Add(6*time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accepted {
+		t.Fatal("41st encrypted hour accepted")
+	}
+	// Per-worker isolation.
+	r, _ = m.SubmitEncrypted(encUpdate(t, pk, "t6", "w2", 8, tBase()))
+	if !r.Accepted {
+		t.Fatalf("other worker rejected: %s", r.Reason)
+	}
+}
+
+func TestEncryptedManagerWindowSlides(t *testing.T) {
+	m, pk := newEncrypted(t)
+	for i := 0; i < 5; i++ {
+		r, _ := m.SubmitEncrypted(encUpdate(t, pk, fmt.Sprintf("a%d", i), "w1", 8, tBase()))
+		if !r.Accepted {
+			t.Fatal("setup rejected")
+		}
+	}
+	r, err := m.SubmitEncrypted(encUpdate(t, pk, "b0", "w1", 8, tBase().Add(200*time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Accepted {
+		t.Fatalf("next-week encrypted update rejected: %s", r.Reason)
+	}
+	// Out-of-window entries must have been pruned from group state.
+	if n := m.GroupEntries("w1"); n != 1 {
+		t.Fatalf("group entries after prune = %d, want 1", n)
+	}
+}
+
+func TestEncryptedManagerAgreesWithPlain(t *testing.T) {
+	// The crucial soundness property: encrypted verdicts match plaintext
+	// verdicts on the same stream.
+	plain := newPlain(t)
+	encM, pk := newEncrypted(t)
+	hours := []int64{8, 8, 8, 8, 5, 2, 1, 8} // cumulative: 40 at idx 4; rejections after
+	for i, h := range hours {
+		ts := tBase().Add(time.Duration(i) * time.Hour)
+		pr, err := plain.Submit(taskUpdate(fmt.Sprintf("t%d", i), "w1", h, ts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		er, err := encM.SubmitEncrypted(encUpdate(t, pk, fmt.Sprintf("t%d", i), "w1", h, ts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Accepted != er.Accepted {
+			t.Fatalf("update %d (h=%d): plain=%v encrypted=%v", i, h, pr.Accepted, er.Accepted)
+		}
+	}
+}
+
+func TestEncryptedManagerRejectedNotFolded(t *testing.T) {
+	m, pk := newEncrypted(t)
+	for i := 0; i < 5; i++ {
+		m.SubmitEncrypted(encUpdate(t, pk, fmt.Sprintf("t%d", i), "w1", 8, tBase()))
+	}
+	before := m.GroupEntries("w1")
+	ledgerBefore := m.Ledger().Size()
+	r, _ := m.SubmitEncrypted(encUpdate(t, pk, "bad", "w1", 5, tBase()))
+	if r.Accepted {
+		t.Fatal("over-limit accepted")
+	}
+	if m.GroupEntries("w1") != before {
+		t.Fatal("rejected ciphertext folded into state")
+	}
+	if m.Ledger().Size() != ledgerBefore {
+		t.Fatal("rejected ciphertext anchored in ledger")
+	}
+}
+
+func TestEncryptedManagerMissingField(t *testing.T) {
+	m, _ := newEncrypted(t)
+	u := EncryptedUpdate{ID: "x", Group: "w1", TS: tBase(), Enc: map[string]*he.Ciphertext{}}
+	if _, err := m.SubmitEncrypted(u); err == nil {
+		t.Fatal("update without encrypted field accepted")
+	}
+}
+
+func TestEncryptedManagerConstruction(t *testing.T) {
+	helper, _ := fixtures(t)
+	if _, err := NewEncryptedManager("x", nil, helper, &BoundSpec{}); err == nil {
+		t.Fatal("nil key accepted")
+	}
+	if _, err := NewEncryptedManager("x", helper.PublicKey(), nil, &BoundSpec{}); err == nil {
+		t.Fatal("nil oracle accepted")
+	}
+}
+
+// --- ZKBoundManager (RC1, proof-carrying) ---
+
+func newZK(t testing.TB) (*ZKBoundManager, *ZKOwner) {
+	t.Helper()
+	params := commit.NewParams(group.TestGroup())
+	m, err := NewZKBoundManager("zk-flsa", params, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, NewZKOwner(params, "zk-flsa", 40)
+}
+
+func TestZKBoundAcceptsWithinBound(t *testing.T) {
+	m, owner := newZK(t)
+	for i := 0; i < 5; i++ {
+		u, err := owner.ProduceUpdate(fmt.Sprintf("t%d", i), "w1", "w1", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.SubmitZK(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Accepted {
+			t.Fatalf("update %d rejected: %s", i, r.Reason)
+		}
+	}
+	if owner.Total("w1") != 40 {
+		t.Fatalf("owner total = %d", owner.Total("w1"))
+	}
+}
+
+func TestZKBoundOwnerRefusesViolation(t *testing.T) {
+	m, owner := newZK(t)
+	for i := 0; i < 5; i++ {
+		u, _ := owner.ProduceUpdate(fmt.Sprintf("t%d", i), "w1", "w1", 8)
+		m.SubmitZK(u)
+	}
+	if _, err := owner.ProduceUpdate("t5", "w1", "w1", 1); err == nil {
+		t.Fatal("owner produced a proof for a violated bound")
+	}
+}
+
+func TestZKBoundManagerRejectsForgedProof(t *testing.T) {
+	m, owner := newZK(t)
+	u1, _ := owner.ProduceUpdate("t0", "w1", "w1", 8)
+	if r, _ := m.SubmitZK(u1); !r.Accepted {
+		t.Fatal("honest update rejected")
+	}
+	// Replay the same update (manager's running commitment has advanced,
+	// so the proof no longer matches the fold).
+	if r, _ := m.SubmitZK(u1); r.Accepted {
+		t.Fatal("replayed update accepted")
+	}
+	// A proof transplanted onto a different commitment must fail.
+	u2, _ := owner.ProduceUpdate("t2", "w1", "w1", 8)
+	params := commit.NewParams(group.TestGroup())
+	forged, _, _ := params.CommitInt(1, nil)
+	u2.C = forged
+	if r, _ := m.SubmitZK(u2); r.Accepted {
+		t.Fatal("transplanted proof accepted")
+	}
+}
+
+func TestZKBoundGroupsIndependent(t *testing.T) {
+	m, owner := newZK(t)
+	for i := 0; i < 5; i++ {
+		u, _ := owner.ProduceUpdate(fmt.Sprintf("a%d", i), "w1", "w1", 8)
+		m.SubmitZK(u)
+	}
+	u, err := owner.ProduceUpdate("b0", "w2", "w2", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := m.SubmitZK(u); !r.Accepted {
+		t.Fatal("independent group rejected")
+	}
+}
+
+func TestZKBoundNegativeValueRefused(t *testing.T) {
+	_, owner := newZK(t)
+	if _, err := owner.ProduceUpdate("t0", "w1", "w1", -5); err == nil {
+		t.Fatal("negative value accepted (would unwind the total)")
+	}
+}
+
+func TestZKBoundManagerValidation(t *testing.T) {
+	params := commit.NewParams(group.TestGroup())
+	if _, err := NewZKBoundManager("x", nil, 10); err == nil {
+		t.Fatal("nil params accepted")
+	}
+	if _, err := NewZKBoundManager("x", params, -1); err == nil {
+		t.Fatal("negative bound accepted")
+	}
+	m, _ := NewZKBoundManager("x", params, 10)
+	if _, err := m.SubmitZK(ZKUpdate{ID: "u"}); err == nil {
+		t.Fatal("commitment-less update accepted")
+	}
+	if _, err := m.SubmitZK(ZKUpdate{ID: "u", C: commit.Commitment{C: big.NewInt(0)}}); err == nil {
+		t.Fatal("out-of-group commitment accepted")
+	}
+}
+
+// --- TokenFederation (RC2, centralized) ---
+
+func newTokenFed(t testing.TB) (*TokenFederation, *token.Authority) {
+	t.Helper()
+	_, auth := fixtures(t)
+	fed, err := NewTokenFederation("flsa-tokens", auth.PublicKey(), "2022-W13",
+		token.NewMemorySpentStore(), []string{"uber", "lyft"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed, auth
+}
+
+func issueTokens(t testing.TB, auth *token.Authority, worker string, n int) *token.Wallet {
+	t.Helper()
+	w, err := token.NewWallet(auth.PublicKey(), "2022-W13", n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := auth.IssueBudget(worker, "2022-W13", w.BlindedRequests(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finalize(sigs); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestTokenFederationBudgetAcrossPlatforms(t *testing.T) {
+	fed, auth := newTokenFed(t)
+	wallet := issueTokens(t, auth, "worker-tf-1", 40)
+	// 24 hours at uber, 16 at lyft: exactly the budget.
+	r, err := fed.SubmitTask(TaskSubmission{ID: "t1", Worker: "worker-tf-1", Platform: "uber", Hours: 24, TS: tBase()}, wallet)
+	if err != nil || !r.Accepted {
+		t.Fatalf("uber task: %+v, %v", r, err)
+	}
+	r, err = fed.SubmitTask(TaskSubmission{ID: "t2", Worker: "worker-tf-1", Platform: "lyft", Hours: 16, TS: tBase()}, wallet)
+	if err != nil || !r.Accepted {
+		t.Fatalf("lyft task: %+v, %v", r, err)
+	}
+	// The 41st hour has no token: rejected regardless of platform.
+	r, err = fed.SubmitTask(TaskSubmission{ID: "t3", Worker: "worker-tf-1", Platform: "uber", Hours: 1, TS: tBase()}, wallet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accepted {
+		t.Fatal("41st cross-platform hour accepted")
+	}
+	// Each platform saw only its own hours.
+	uber, _ := fed.Platform("uber")
+	lyft, _ := fed.Platform("lyft")
+	if h := uber.LocalHours("worker-tf-1", 0, tBase().Add(time.Hour)); h != 24 {
+		t.Fatalf("uber local hours = %d", h)
+	}
+	if h := lyft.LocalHours("worker-tf-1", 0, tBase().Add(time.Hour)); h != 16 {
+		t.Fatalf("lyft local hours = %d", h)
+	}
+}
+
+func TestTokenFederationDoubleSpendAcrossPlatforms(t *testing.T) {
+	fed, auth := newTokenFed(t)
+	// Forge a wallet that replays the same token: simulate by spending a
+	// token directly then submitting a crafted wallet. Easiest path: spend
+	// all tokens at uber then retry the submission with an exhausted
+	// wallet — and separately check the shared store catches a re-spend.
+	wallet := issueTokens(t, auth, "worker-tf-2", 2)
+	r, _ := fed.SubmitTask(TaskSubmission{ID: "t1", Worker: "worker-tf-2", Platform: "uber", Hours: 2, TS: tBase()}, wallet)
+	if !r.Accepted {
+		t.Fatal("setup failed")
+	}
+	r, _ = fed.SubmitTask(TaskSubmission{ID: "t2", Worker: "worker-tf-2", Platform: "lyft", Hours: 1, TS: tBase()}, wallet)
+	if r.Accepted {
+		t.Fatal("task without tokens accepted")
+	}
+}
+
+func TestTokenFederationValidation(t *testing.T) {
+	_, auth := fixtures(t)
+	if _, err := NewTokenFederation("x", auth.PublicKey(), "p", nil, []string{"a"}); err == nil {
+		t.Fatal("nil spent store accepted")
+	}
+	if _, err := NewTokenFederation("x", auth.PublicKey(), "p", token.NewMemorySpentStore(), nil); err == nil {
+		t.Fatal("no platforms accepted")
+	}
+	fed, _ := newTokenFed(t)
+	wallet := issueTokens(t, auth, "worker-tf-3", 1)
+	if _, err := fed.SubmitTask(TaskSubmission{ID: "t", Worker: "w", Platform: "ghost", Hours: 1, TS: tBase()}, wallet); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	if _, err := fed.SubmitTask(TaskSubmission{ID: "t", Worker: "w", Platform: "uber", Hours: 0, TS: tBase()}, wallet); err == nil {
+		t.Fatal("zero hours accepted")
+	}
+}
+
+// --- MPCFederation (RC2, decentralized) ---
+
+func newMPCFed(t testing.TB) *MPCFederation {
+	t.Helper()
+	helper, _ := fixtures(t)
+	fed, err := NewMPCFederation("flsa-mpc", helper.PublicKey(), helper, 40, 168*time.Hour,
+		[]string{"uber", "lyft", "doordash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+func TestMPCFederationEnforcesGlobalBound(t *testing.T) {
+	fed := newMPCFed(t)
+	// 20h at uber, 15h at lyft: fine. 6h more anywhere: over 40.
+	r, err := fed.SubmitTask(TaskSubmission{ID: "t1", Worker: "w1", Platform: "uber", Hours: 20, TS: tBase()})
+	if err != nil || !r.Accepted {
+		t.Fatalf("t1: %+v, %v", r, err)
+	}
+	r, err = fed.SubmitTask(TaskSubmission{ID: "t2", Worker: "w1", Platform: "lyft", Hours: 15, TS: tBase().Add(time.Hour)})
+	if err != nil || !r.Accepted {
+		t.Fatalf("t2: %+v, %v", r, err)
+	}
+	r, err = fed.SubmitTask(TaskSubmission{ID: "t3", Worker: "w1", Platform: "doordash", Hours: 6, TS: tBase().Add(2 * time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accepted {
+		t.Fatal("41 cross-platform hours accepted by MPC federation")
+	}
+	// Exactly reaching the bound is fine.
+	r, _ = fed.SubmitTask(TaskSubmission{ID: "t4", Worker: "w1", Platform: "doordash", Hours: 5, TS: tBase().Add(2 * time.Hour)})
+	if !r.Accepted {
+		t.Fatalf("exactly-40 rejected: %s", r.Reason)
+	}
+}
+
+func TestMPCFederationWindowSlides(t *testing.T) {
+	fed := newMPCFed(t)
+	r, _ := fed.SubmitTask(TaskSubmission{ID: "t1", Worker: "w2", Platform: "uber", Hours: 40, TS: tBase()})
+	if !r.Accepted {
+		t.Fatal("setup rejected")
+	}
+	// Within the window: rejected.
+	r, _ = fed.SubmitTask(TaskSubmission{ID: "t2", Worker: "w2", Platform: "lyft", Hours: 1, TS: tBase().Add(100 * time.Hour)})
+	if r.Accepted {
+		t.Fatal("in-window overage accepted")
+	}
+	// Past the window: accepted.
+	r, _ = fed.SubmitTask(TaskSubmission{ID: "t3", Worker: "w2", Platform: "lyft", Hours: 40, TS: tBase().Add(200 * time.Hour)})
+	if !r.Accepted {
+		t.Fatalf("out-of-window update rejected: %s", r.Reason)
+	}
+}
+
+func TestMPCFederationWorkersIndependent(t *testing.T) {
+	fed := newMPCFed(t)
+	fed.SubmitTask(TaskSubmission{ID: "t1", Worker: "w3", Platform: "uber", Hours: 40, TS: tBase()})
+	r, _ := fed.SubmitTask(TaskSubmission{ID: "t2", Worker: "w4", Platform: "uber", Hours: 40, TS: tBase()})
+	if !r.Accepted {
+		t.Fatal("unrelated worker rejected")
+	}
+}
+
+func TestMPCFederationValidation(t *testing.T) {
+	helper, _ := fixtures(t)
+	if _, err := NewMPCFederation("x", nil, helper, 40, 0, []string{"a"}); err == nil {
+		t.Fatal("nil key accepted")
+	}
+	if _, err := NewMPCFederation("x", helper.PublicKey(), helper, 40, 0, nil); err == nil {
+		t.Fatal("no platforms accepted")
+	}
+	fed := newMPCFed(t)
+	if _, err := fed.SubmitTask(TaskSubmission{ID: "t", Worker: "w", Platform: "ghost", Hours: 1, TS: tBase()}); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+// --- PublicPIRManager (RC3) ---
+
+func newPublicMgr(t testing.TB) (*PublicPIRManager, *token.Authority) {
+	t.Helper()
+	_, auth := fixtures(t)
+	m, err := NewPublicPIRManager("conference", auth.PublicKey(), "edbt-2022", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, auth
+}
+
+func credential(t testing.TB, auth *token.Authority, holder string) token.Token {
+	t.Helper()
+	w, err := token.NewWallet(auth.PublicKey(), "edbt-2022", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := auth.IssueBudget(holder, "edbt-2022", w.BlindedRequests(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finalize(sigs); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := w.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tok
+}
+
+func TestPublicManagerRegistrationFlow(t *testing.T) {
+	m, auth := newPublicMgr(t)
+	cred := credential(t, auth, "alice")
+	r, err := m.SubmitWithCredential(PublicEntry{Key: "alice", Data: "in-person"}, cred)
+	if err != nil || !r.Accepted {
+		t.Fatalf("registration: %+v, %v", r, err)
+	}
+	if m.Size() != 1 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	entry, err := m.PrivateLookup("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Key != "alice" || entry.Data != "in-person" {
+		t.Fatalf("entry = %+v", entry)
+	}
+	if !m.AuditReplicas() {
+		t.Fatal("replicas diverged")
+	}
+}
+
+func TestPublicManagerCredentialSingleUse(t *testing.T) {
+	m, auth := newPublicMgr(t)
+	cred := credential(t, auth, "bob")
+	if r, _ := m.SubmitWithCredential(PublicEntry{Key: "bob", Data: "x"}, cred); !r.Accepted {
+		t.Fatal("first use rejected")
+	}
+	if r, _ := m.SubmitWithCredential(PublicEntry{Key: "mallory", Data: "x"}, cred); r.Accepted {
+		t.Fatal("credential reuse accepted")
+	}
+}
+
+func TestPublicManagerForgedCredentialRejected(t *testing.T) {
+	m, _ := newPublicMgr(t)
+	forged := token.Token{Serial: "ff", Period: "edbt-2022", Sig: big.NewInt(7)}
+	r, err := m.SubmitWithCredential(PublicEntry{Key: "eve", Data: "x"}, forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accepted {
+		t.Fatal("forged credential accepted")
+	}
+	if m.Size() != 0 {
+		t.Fatal("forged registration stored")
+	}
+}
+
+func TestPublicManagerLookupMiss(t *testing.T) {
+	m, _ := newPublicMgr(t)
+	if _, err := m.PrivateLookup("nobody"); err == nil {
+		t.Fatal("lookup miss succeeded")
+	}
+}
+
+func TestPublicManagerReRegistrationUpdatesInPlace(t *testing.T) {
+	m, auth := newPublicMgr(t)
+	c1 := credential(t, auth, "carol-1")
+	c2 := credential(t, auth, "carol-2")
+	m.SubmitWithCredential(PublicEntry{Key: "carol", Data: "online"}, c1)
+	m.SubmitWithCredential(PublicEntry{Key: "carol", Data: "in-person"}, c2)
+	if m.Size() != 1 {
+		t.Fatalf("size after re-registration = %d", m.Size())
+	}
+	entry, _ := m.PrivateLookup("carol")
+	if entry.Data != "in-person" {
+		t.Fatalf("entry not updated: %+v", entry)
+	}
+}
+
+func TestPublicManagerDirectoryAndValidation(t *testing.T) {
+	m, auth := newPublicMgr(t)
+	m.SubmitWithCredential(PublicEntry{Key: "a"}, credential(t, auth, "a"))
+	m.SubmitWithCredential(PublicEntry{Key: "b"}, credential(t, auth, "b"))
+	dir := m.Directory()
+	if len(dir) != 2 || dir[0] != "a" || dir[1] != "b" {
+		t.Fatalf("directory = %v", dir)
+	}
+	if _, err := m.SubmitWithCredential(PublicEntry{Key: ""}, credential(t, auth, "c")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+// Ledger integrity across every engine.
+func TestAllEnginesProduceAuditableLedgers(t *testing.T) {
+	encM, pk := newEncrypted(t)
+	encM.SubmitEncrypted(encUpdate(t, pk, "t1", "w", 8, tBase()))
+
+	zkM, owner := newZK(t)
+	u, _ := owner.ProduceUpdate("t1", "w", "w", 8)
+	zkM.SubmitZK(u)
+
+	pubM, auth := newPublicMgr(t)
+	pubM.SubmitWithCredential(PublicEntry{Key: "p"}, credential(t, auth, "p"))
+
+	for _, l := range []*ledger.Ledger{encM.Ledger(), zkM.Ledger(), pubM.Ledger()} {
+		if rep := ledger.Audit(l.Export(), l.Digest()); !rep.Clean() {
+			t.Fatalf("engine ledger failed audit: %+v", rep)
+		}
+	}
+}
+
+func newIncrementalFed(t testing.TB) *MPCFederation {
+	t.Helper()
+	helper, _ := fixtures(t)
+	fed, err := NewMPCFederation("flsa-mpc-inc", helper.PublicKey(), helper, 40, 168*time.Hour,
+		[]string{"uber", "lyft", "doordash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed.EnableIncremental()
+	return fed
+}
+
+func TestIncrementalMPCEnforcesGlobalBound(t *testing.T) {
+	fed := newIncrementalFed(t)
+	r, err := fed.SubmitTask(TaskSubmission{ID: "t1", Worker: "w1", Platform: "uber", Hours: 20, TS: tBase()})
+	if err != nil || !r.Accepted {
+		t.Fatalf("t1: %+v, %v", r, err)
+	}
+	r, _ = fed.SubmitTask(TaskSubmission{ID: "t2", Worker: "w1", Platform: "lyft", Hours: 15, TS: tBase().Add(time.Hour)})
+	if !r.Accepted {
+		t.Fatal("t2 rejected")
+	}
+	r, err = fed.SubmitTask(TaskSubmission{ID: "t3", Worker: "w1", Platform: "doordash", Hours: 6, TS: tBase().Add(2 * time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accepted {
+		t.Fatal("41 incremental cross-platform hours accepted")
+	}
+	r, _ = fed.SubmitTask(TaskSubmission{ID: "t4", Worker: "w1", Platform: "doordash", Hours: 5, TS: tBase().Add(2 * time.Hour)})
+	if !r.Accepted {
+		t.Fatalf("exactly-40 rejected incrementally: %s", r.Reason)
+	}
+}
+
+func TestIncrementalMPCWindowExpiry(t *testing.T) {
+	fed := newIncrementalFed(t)
+	r, _ := fed.SubmitTask(TaskSubmission{ID: "t1", Worker: "w2", Platform: "uber", Hours: 40, TS: tBase()})
+	if !r.Accepted {
+		t.Fatal("setup rejected")
+	}
+	// In-window overage rejected.
+	r, _ = fed.SubmitTask(TaskSubmission{ID: "t2", Worker: "w2", Platform: "lyft", Hours: 1, TS: tBase().Add(100 * time.Hour)})
+	if r.Accepted {
+		t.Fatal("in-window overage accepted")
+	}
+	// After the window, the expired entries are homomorphically subtracted.
+	r, _ = fed.SubmitTask(TaskSubmission{ID: "t3", Worker: "w2", Platform: "lyft", Hours: 40, TS: tBase().Add(200 * time.Hour)})
+	if !r.Accepted {
+		t.Fatalf("post-window update rejected: %s", r.Reason)
+	}
+}
+
+// The critical equivalence: on a time-ordered trace, incremental mode must
+// make exactly the decisions the exact (re-encrypting) mode makes.
+func TestIncrementalMPCAgreesWithExact(t *testing.T) {
+	helper, _ := fixtures(t)
+	platforms := []string{"p0", "p1"}
+	exact, err := NewMPCFederation("exact", helper.PublicKey(), helper, 40, 168*time.Hour, platforms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewMPCFederation("inc", helper.PublicKey(), helper, 40, 168*time.Hour, platforms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.EnableIncremental()
+	// A time-ordered pseudorandom trace with enough pressure to reject.
+	hours := []int64{9, 8, 7, 9, 8, 7, 9, 8, 30, 12, 3, 5}
+	for i, h := range hours {
+		ts := tBase().Add(time.Duration(i*20) * time.Hour) // window slides
+		worker := "w" + fmt.Sprint(i%2)
+		platform := platforms[i%2]
+		sub := TaskSubmission{ID: fmt.Sprintf("t%d", i), Worker: worker, Platform: platform, Hours: h, TS: ts}
+		er, err := exact.SubmitTask(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ir, err := inc.SubmitTask(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if er.Accepted != ir.Accepted {
+			t.Fatalf("task %d (h=%d): exact=%v incremental=%v", i, h, er.Accepted, ir.Accepted)
+		}
+	}
+}
+
+func TestIncrementalMPCRejectedNotCached(t *testing.T) {
+	fed := newIncrementalFed(t)
+	fed.SubmitTask(TaskSubmission{ID: "t1", Worker: "w3", Platform: "uber", Hours: 40, TS: tBase()})
+	// Rejected task must not pollute the cached total.
+	fed.SubmitTask(TaskSubmission{ID: "t2", Worker: "w3", Platform: "uber", Hours: 10, TS: tBase().Add(time.Hour)})
+	// Exactly-at-bound probe: if the rejected 10h leaked into the cache,
+	// this would be wrongly rejected too. (0 more is allowed; probe with a
+	// task after the window instead.)
+	r, _ := fed.SubmitTask(TaskSubmission{ID: "t3", Worker: "w3", Platform: "uber", Hours: 40, TS: tBase().Add(200 * time.Hour)})
+	if !r.Accepted {
+		t.Fatalf("cache polluted by rejected task: %s", r.Reason)
+	}
+}
+
+func TestEncryptedManagerMultipleConstraints(t *testing.T) {
+	helper, _ := fixtures(t)
+	// Two regulations: weekly cap of 40 and a per-update cap of 12.
+	weekly, _ := constraint.CompileBound(constraint.MustParse(flsaSource))
+	weeklySpec, err := DeriveBoundSpec("flsa", weekly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift, _ := constraint.CompileBound(constraint.MustParse("u.hours <= 12"))
+	shiftSpec, err := DeriveBoundSpec("max-shift", shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewEncryptedManagerMulti("multi", helper.PublicKey(), helper, []*BoundSpec{weeklySpec, shiftSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := helper.PublicKey()
+	// 13-hour shift violates max-shift even though weekly is fine.
+	r, err := m.SubmitEncrypted(encUpdate(t, pk, "t1", "mw", 13, tBase()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accepted || r.Violated != "max-shift" {
+		t.Fatalf("13h shift: %+v", r)
+	}
+	// Rejected update must not have polluted the weekly aggregate.
+	if m.GroupEntries("mw") != 0 {
+		t.Fatal("rejected update folded into aggregate state")
+	}
+	// Four 10-hour shifts pass both; the fifth violates the weekly cap.
+	for i := 0; i < 4; i++ {
+		r, _ = m.SubmitEncrypted(encUpdate(t, pk, fmt.Sprintf("ok%d", i), "mw", 10, tBase().Add(time.Duration(i)*time.Hour)))
+		if !r.Accepted {
+			t.Fatalf("shift %d rejected: %s", i, r.Reason)
+		}
+	}
+	r, _ = m.SubmitEncrypted(encUpdate(t, pk, "t6", "mw", 1, tBase().Add(5*time.Hour)))
+	if r.Accepted || r.Violated != "flsa" {
+		t.Fatalf("41st hour: %+v", r)
+	}
+}
+
+func TestEncryptedManagerMultiValidation(t *testing.T) {
+	helper, _ := fixtures(t)
+	if _, err := NewEncryptedManagerMulti("x", helper.PublicKey(), helper, nil); err == nil {
+		t.Fatal("empty spec list accepted")
+	}
+	a := &BoundSpec{Name: "same", UpdateTerms: map[string]int64{"v": 1}, Bound: 1, Upper: true}
+	b := &BoundSpec{Name: "same", UpdateTerms: map[string]int64{"v": 1}, Bound: 2, Upper: true}
+	if _, err := NewEncryptedManagerMulti("x", helper.PublicKey(), helper, []*BoundSpec{a, b}); err == nil {
+		t.Fatal("duplicate spec names accepted")
+	}
+	if _, err := NewEncryptedManagerMulti("x", helper.PublicKey(), helper, []*BoundSpec{{UpdateTerms: map[string]int64{}}}); err == nil {
+		t.Fatal("unnamed spec accepted")
+	}
+}
+
+func TestEncryptedUpdateGroupsRouting(t *testing.T) {
+	helper, _ := fixtures(t)
+	// Two constraints grouping by different fields: per-worker and
+	// per-platform caps.
+	byWorker, _ := constraint.CompileBound(constraint.MustParse(
+		"SUM(tasks.hours WHERE tasks.worker = u.worker) + u.hours <= 40"))
+	workerSpec, _ := DeriveBoundSpec("by-worker", byWorker)
+	byPlatform, _ := constraint.CompileBound(constraint.MustParse(
+		"SUM(tasks.hours WHERE tasks.platform = u.platform) + u.hours <= 60"))
+	platformSpec, _ := DeriveBoundSpec("by-platform", byPlatform)
+	m, err := NewEncryptedManagerMulti("dual", helper.PublicKey(), helper, []*BoundSpec{workerSpec, platformSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := helper.PublicKey()
+	submit := func(id, worker, platform string, hours int64) Receipt {
+		ct, err := pk.EncryptInt(hours, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.SubmitEncrypted(EncryptedUpdate{
+			ID: id, Producer: worker,
+			Groups: map[string]string{"worker": worker, "platform": platform},
+			TS:     tBase(),
+			Enc:    map[string]*he.Ciphertext{"hours": ct},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	// Two workers on one platform: each under 40, platform heading to 60.
+	if r := submit("a1", "w1", "uber", 35); !r.Accepted {
+		t.Fatalf("a1: %s", r.Reason)
+	}
+	if r := submit("a2", "w2", "uber", 25); !r.Accepted {
+		t.Fatalf("a2: %s", r.Reason)
+	}
+	// w2 is at 25 < 40, but uber is at 60: the platform cap rejects.
+	r := submit("a3", "w2", "uber", 1)
+	if r.Accepted || r.Violated != "by-platform" {
+		t.Fatalf("a3: %+v", r)
+	}
+	// Same worker on another platform is fine.
+	if r := submit("a4", "w2", "lyft", 10); !r.Accepted {
+		t.Fatalf("a4: %s", r.Reason)
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math/big"
+	"sync"
+	"time"
+
+	"prever/internal/he"
+)
+
+// Incremental federated verification — the paper's RC2 discussion notes
+// that "in a dynamic setting, PReVer can benefit from the efficient
+// incremental techniques". The baseline MPCFederation re-encrypts every
+// platform's in-window total on every check (n encryptions per task). In
+// incremental mode each platform keeps a cached ciphertext of its live
+// total under the helper's key, updated homomorphically:
+//
+//   - on accept: ct ← ct ⊕ Enc(hours)
+//   - on window expiry: ct ← ct ⊕ Enc(-expired) (the platform knows its
+//     own plaintext history, so it can subtract exactly)
+//
+// A check then costs one fresh encryption (the new task's hours) plus
+// rerandomizations, instead of n encryptions.
+//
+// Correctness requires non-decreasing submission timestamps per worker
+// (live systems submit in arrival order); pruning is permanent, so a
+// back-dated task after pruning would see an undercounted window. The
+// engine enforces this by clamping each worker's check time to the
+// maximum seen.
+
+// encCacheState is one (platform, worker) cached encrypted total.
+type encCacheState struct {
+	ct       *he.Ciphertext
+	entries  []encCacheEntry
+	maxUntil time.Time
+}
+
+type encCacheEntry struct {
+	ts    time.Time
+	hours int64
+}
+
+// incrementalCache holds the per-(platform, worker) encrypted totals and
+// an offline-precomputed pool of Enc(0) ciphertexts. Fresh Paillier
+// randomness is the expensive part of every online step (rerandomization
+// and encryption are both ~one exponentiation mod n²); platforms prepare
+// it in idle time, and the online path then costs only modular
+// multiplications: Enc(v) = AddPlain(Enc(0), v) and rerandomize =
+// Add(ct, Enc(0)). This offline/online split is the standard MPC
+// preprocessing pattern and is what makes the incremental mode pay off.
+type incrementalCache struct {
+	mu       sync.Mutex
+	pk       *he.PublicKey
+	state    map[string]*encCacheState // platform + "/" + worker
+	zeroPool []*he.Ciphertext
+}
+
+func newIncrementalCache(pk *he.PublicKey) *incrementalCache {
+	return &incrementalCache{pk: pk, state: make(map[string]*encCacheState)}
+}
+
+// precomputeZeros fills the offline randomness pool.
+func (c *incrementalCache) precomputeZeros(n int) error {
+	fresh := make([]*he.Ciphertext, 0, n)
+	for i := 0; i < n; i++ {
+		z, err := c.pk.Encrypt(big.NewInt(0), nil)
+		if err != nil {
+			return err
+		}
+		fresh = append(fresh, z)
+	}
+	c.mu.Lock()
+	c.zeroPool = append(c.zeroPool, fresh...)
+	c.mu.Unlock()
+	return nil
+}
+
+// zeroLocked pops a precomputed Enc(0), falling back to a fresh
+// encryption when the pool runs dry (correct either way; only slower).
+func (c *incrementalCache) zeroLocked() (*he.Ciphertext, error) {
+	if n := len(c.zeroPool); n > 0 {
+		z := c.zeroPool[n-1]
+		c.zeroPool = c.zeroPool[:n-1]
+		return z, nil
+	}
+	return c.pk.Encrypt(big.NewInt(0), nil)
+}
+
+// encryptLocked encrypts v using pool randomness: AddPlain(Enc(0), v).
+func (c *incrementalCache) encryptLocked(v int64) (*he.Ciphertext, error) {
+	z, err := c.zeroLocked()
+	if err != nil {
+		return nil, err
+	}
+	return c.pk.AddPlain(z, big.NewInt(v))
+}
+
+// total returns Enc(platform's live total for worker), pruning expired
+// entries first and clamping until to be monotone. The returned ciphertext
+// is rerandomized so the aggregator cannot correlate successive checks.
+func (c *incrementalCache) total(platform, worker string, window time.Duration, until time.Time) (*he.Ciphertext, time.Time, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, err := c.stateLocked(platform, worker)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	if until.After(st.maxUntil) {
+		st.maxUntil = until
+	}
+	effective := st.maxUntil
+	if window > 0 {
+		lo := effective.Add(-window)
+		keep := st.entries[:0]
+		for _, e := range st.entries {
+			if e.ts.Before(lo) {
+				neg, err := c.encryptLocked(-e.hours)
+				if err != nil {
+					return nil, time.Time{}, err
+				}
+				st.ct = c.pk.Add(st.ct, neg)
+				continue
+			}
+			keep = append(keep, e)
+		}
+		st.entries = keep
+	}
+	// Rerandomize from the pool: Add(ct, Enc(0)).
+	z, err := c.zeroLocked()
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	return c.pk.Add(st.ct, z), effective, nil
+}
+
+// add folds an accepted task into the cache.
+func (c *incrementalCache) add(platform, worker string, hours int64, ts time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, err := c.stateLocked(platform, worker)
+	if err != nil {
+		return err
+	}
+	enc, err := c.encryptLocked(hours)
+	if err != nil {
+		return err
+	}
+	st.ct = c.pk.Add(st.ct, enc)
+	st.entries = append(st.entries, encCacheEntry{ts: ts, hours: hours})
+	return nil
+}
+
+func (c *incrementalCache) stateLocked(platform, worker string) (*encCacheState, error) {
+	key := platform + "/" + worker
+	st, ok := c.state[key]
+	if !ok {
+		zero, err := c.zeroLocked()
+		if err != nil {
+			return nil, err
+		}
+		st = &encCacheState{ct: zero}
+		c.state[key] = st
+	}
+	return st, nil
+}
+
+// encrypt encrypts a value with pool randomness.
+func (c *incrementalCache) encrypt(v int64) (*he.Ciphertext, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.encryptLocked(v)
+}
+
+// EnableIncremental switches the federation to cached encrypted totals.
+// Call before the first SubmitTask. See the comment above for the
+// monotone-timestamp requirement. Combine with PrecomputeRandomness to
+// move the encryption cost offline.
+func (f *MPCFederation) EnableIncremental() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.inc == nil {
+		f.inc = newIncrementalCache(f.pk)
+	}
+}
+
+// PrecomputeRandomness fills the offline Enc(0) pool with n entries
+// (roughly: one per platform per expected check, plus one per accepted
+// task). Only meaningful after EnableIncremental.
+func (f *MPCFederation) PrecomputeRandomness(n int) error {
+	f.mu.Lock()
+	inc := f.inc
+	f.mu.Unlock()
+	if inc == nil {
+		return nil
+	}
+	return inc.precomputeZeros(n)
+}
+
+// submitIncremental is the incremental-mode verification path.
+func (f *MPCFederation) submitIncremental(sub TaskSubmission, target *FedPlatform, platforms []*FedPlatform) (Receipt, error) {
+	inputs := make([]*he.Ciphertext, 0, len(platforms)+1)
+	for _, p := range platforms {
+		ct, _, err := f.inc.total(p.ID(), sub.Worker, f.window, sub.TS)
+		if err != nil {
+			return Receipt{}, err
+		}
+		inputs = append(inputs, ct)
+	}
+	newHours, err := f.inc.encrypt(sub.Hours)
+	if err != nil {
+		return Receipt{}, err
+	}
+	inputs = append(inputs, newHours)
+	ok, err := checkBoundWithOracle(f.pk, f.oracle, inputs, f.bound)
+	if err != nil {
+		return Receipt{}, err
+	}
+	if !ok {
+		return Receipt{
+			UpdateID: sub.ID,
+			Accepted: false,
+			Violated: f.name,
+			Reason:   "federated regulation " + f.name + " not satisfied",
+		}, nil
+	}
+	if err := f.inc.add(sub.Platform, sub.Worker, sub.Hours, sub.TS); err != nil {
+		return Receipt{}, err
+	}
+	seq, err := target.record(sub.ID, sub.Worker, sub.Hours, sub.TS)
+	if err != nil {
+		return Receipt{}, err
+	}
+	return Receipt{UpdateID: sub.ID, Accepted: true, LedgerSeq: seq}, nil
+}

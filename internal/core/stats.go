@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats are per-engine submission counters, updated atomically on every
+// Submit-family call. They are operational observability, not part of the
+// verification logic.
+type Stats struct {
+	Submitted int64
+	Accepted  int64
+	Rejected  int64
+	Errors    int64
+	// TotalVerifyNanos accumulates wall time spent inside submissions;
+	// divide by Submitted for the mean.
+	TotalVerifyNanos int64
+}
+
+// MeanLatency returns the average time per submission.
+func (s Stats) MeanLatency() time.Duration {
+	if s.Submitted == 0 {
+		return 0
+	}
+	return time.Duration(s.TotalVerifyNanos / s.Submitted)
+}
+
+// statsRecorder is embedded by engines.
+type statsRecorder struct {
+	submitted atomic.Int64
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	errors    atomic.Int64
+	nanos     atomic.Int64
+}
+
+// record tracks one submission outcome.
+func (s *statsRecorder) record(start time.Time, r Receipt, err error) {
+	s.submitted.Add(1)
+	s.nanos.Add(time.Since(start).Nanoseconds())
+	switch {
+	case err != nil:
+		s.errors.Add(1)
+	case r.Accepted:
+		s.accepted.Add(1)
+	default:
+		s.rejected.Add(1)
+	}
+}
+
+// snapshot returns the current counters.
+func (s *statsRecorder) snapshot() Stats {
+	return Stats{
+		Submitted:        s.submitted.Load(),
+		Accepted:         s.accepted.Load(),
+		Rejected:         s.rejected.Load(),
+		Errors:           s.errors.Load(),
+		TotalVerifyNanos: s.nanos.Load(),
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"prever/internal/ledger"
+)
+
+// VerifiedResult is a query result carrying the cryptographic evidence
+// that its row is exactly what the journal recorded: the journal entry
+// that last wrote the key and a Merkle inclusion proof against the
+// manager's current digest. A relying party who trusts a digest (obtained
+// out of band) can check the result without trusting the manager —
+// Research Challenge 4 applied to the read path.
+type VerifiedResult struct {
+	QueryResult
+	Entry ledger.InclusionProof
+}
+
+// QueryVerified is Query with per-row integrity evidence. It returns the
+// digest the proofs are against alongside the results.
+func (m *PlainManager) QueryVerified(table, filterSource string) ([]VerifiedResult, ledger.Digest, error) {
+	rows, err := m.Query(table, filterSource)
+	if err != nil {
+		return nil, ledger.Digest{}, err
+	}
+	digest := m.ledger.Digest()
+	out := make([]VerifiedResult, 0, len(rows))
+	for _, row := range rows {
+		history := m.ledger.History(table + "/" + row.Key)
+		if len(history) == 0 {
+			return nil, ledger.Digest{}, fmt.Errorf("core: row %q has no journal entry", row.Key)
+		}
+		last := history[len(history)-1]
+		proof, err := m.ledger.ProveInclusion(last.Seq, digest.Size)
+		if err != nil {
+			return nil, ledger.Digest{}, err
+		}
+		out = append(out, VerifiedResult{
+			QueryResult: row,
+			Entry:       proof,
+		})
+	}
+	return out, digest, nil
+}
+
+// VerifyResult checks a verified result against a trusted digest: the
+// proof must verify AND the proven entry must be a PUT of the row's key in
+// the queried table. Row-content equivalence is the caller's concern (the
+// entry's Value is the canonical JSON the manager journaled; callers
+// compare it against the returned row if they need full binding).
+func VerifyResult(table string, r VerifiedResult, d ledger.Digest) error {
+	if err := ledger.VerifyInclusion(r.Entry, d); err != nil {
+		return err
+	}
+	if r.Entry.Entry.Kind != ledger.OpPut {
+		return fmt.Errorf("core: journal entry for %q is not a PUT", r.Key)
+	}
+	if want := table + "/" + r.Key; r.Entry.Entry.Key != want {
+		return fmt.Errorf("core: proof is for key %q, result is %q", r.Entry.Entry.Key, want)
+	}
+	return nil
+}

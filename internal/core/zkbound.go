@@ -1,0 +1,201 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"prever/internal/commit"
+	"prever/internal/ledger"
+	"prever/internal/zk"
+)
+
+// ZKBoundManager is the proof-carrying flavour of Research Challenge 1:
+// instead of an online comparison oracle, the data OWNER proves in zero
+// knowledge that each update keeps the (hidden) running total within a
+// public bound. The untrusted manager holds only Pedersen commitments; it
+// homomorphically folds each update's commitment into the group's running
+// commitment and verifies the owner's bound proof against the fold. No
+// interaction with the owner is needed at verification time, and nothing
+// but the verdict leaks.
+//
+// The division of labour mirrors the paper's zero-knowledge discussion
+// (§5): "the data manager who knows the secret can run the smart contract
+// on its own, and then prove to everyone else that it did so correctly" —
+// here the owner knows the secret values and proves; everyone (the
+// manager, auditors) verifies.
+type ZKBoundManager struct {
+	name   string
+	stats  statsRecorder
+	params *commit.Params
+	bound  *big.Int
+	ledger *ledger.Ledger
+
+	mu      sync.Mutex
+	running map[string]commit.Commitment
+}
+
+// ZKUpdate is the proof-carrying update the owner sends.
+type ZKUpdate struct {
+	ID       string
+	Producer string
+	Group    string
+	C        commit.Commitment // commitment to this update's value
+	Proof    zk.BoundProof     // proof that running+this <= bound
+}
+
+// NewZKBoundManager builds the manager side.
+func NewZKBoundManager(name string, params *commit.Params, bound int64) (*ZKBoundManager, error) {
+	if params == nil {
+		return nil, errors.New("core: nil commitment params")
+	}
+	if bound < 0 {
+		return nil, errors.New("core: negative bound")
+	}
+	return &ZKBoundManager{
+		name:    name,
+		params:  params,
+		bound:   big.NewInt(bound),
+		ledger:  ledger.New(),
+		running: make(map[string]commit.Commitment),
+	}, nil
+}
+
+// Name identifies the engine.
+func (m *ZKBoundManager) Name() string { return m.name }
+
+// Stats reports the engine's submission counters.
+func (m *ZKBoundManager) Stats() Stats { return m.stats.snapshot() }
+
+// Ledger exposes the integrity layer.
+func (m *ZKBoundManager) Ledger() *ledger.Ledger { return m.ledger }
+
+// Running returns the current running commitment for a group (identity
+// commitment for unseen groups).
+func (m *ZKBoundManager) Running(group string) commit.Commitment {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runningLocked(group)
+}
+
+func (m *ZKBoundManager) runningLocked(group string) commit.Commitment {
+	if c, ok := m.running[group]; ok {
+		return c
+	}
+	// Commit(0) with zero randomness: the homomorphic identity.
+	return m.params.CommitPublic(big.NewInt(0))
+}
+
+// proofContext binds a proof to this manager, group and update.
+func proofContext(name, group, updateID string) string {
+	return "prever/zkbound/" + name + "/" + group + "/" + updateID
+}
+
+// SubmitZK verifies the proof against the folded commitment and, if
+// valid, advances the group's running commitment and anchors both the
+// update commitment and the new running commitment in the ledger.
+func (m *ZKBoundManager) SubmitZK(u ZKUpdate) (r Receipt, err error) {
+	start := time.Now()
+	defer func() { m.stats.record(start, r, err) }()
+	if u.C.C == nil {
+		return Receipt{}, errors.New("core: update carries no commitment")
+	}
+	if !m.params.Group.Contains(u.C.C) {
+		return Receipt{}, errors.New("core: commitment outside the group")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	combined := m.params.Add(m.runningLocked(u.Group), u.C)
+	ctx := proofContext(m.name, u.Group, u.ID)
+	if err := zk.VerifyBound(m.params, combined, m.bound, u.Proof, ctx); err != nil {
+		return Receipt{
+			UpdateID: u.ID,
+			Accepted: false,
+			Violated: m.name,
+			Reason:   "bound proof invalid or bound exceeded",
+		}, nil
+	}
+	m.running[u.Group] = combined
+	payload := append(u.C.Bytes(), combined.Bytes()...)
+	rcpt, err := m.ledger.Put("zk/"+u.Group+"/"+u.ID, payload, u.Producer, u.ID)
+	if err != nil {
+		return Receipt{}, fmt.Errorf("core: ledger: %w", err)
+	}
+	return Receipt{UpdateID: u.ID, Accepted: true, LedgerSeq: rcpt.Seq}, nil
+}
+
+// ZKOwner is the data-owner side: it knows the plaintext values and
+// running totals (its own data), produces commitments and bound proofs.
+type ZKOwner struct {
+	params  *commit.Params
+	manager string
+	bound   int64
+
+	mu     sync.Mutex
+	totals map[string]ownerTotal
+}
+
+type ownerTotal struct {
+	total   int64
+	opening commit.Opening
+}
+
+// NewZKOwner creates the owner side, mirroring a manager with the same
+// name and bound.
+func NewZKOwner(params *commit.Params, managerName string, bound int64) *ZKOwner {
+	return &ZKOwner{
+		params:  params,
+		manager: managerName,
+		bound:   bound,
+		totals:  make(map[string]ownerTotal),
+	}
+}
+
+// Total returns the owner-side running total for a group.
+func (o *ZKOwner) Total(group string) int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.totals[group].total
+}
+
+// ProduceUpdate commits to value and proves the new running total stays
+// within the bound. It refuses to produce updates that would violate the
+// regulation (an honest owner cannot prove a false statement anyway; a
+// dishonest owner's forged proof will not verify). On success the owner's
+// local running total advances — call only when the update will be
+// submitted.
+func (o *ZKOwner) ProduceUpdate(id, producer, group string, value int64) (ZKUpdate, error) {
+	if value < 0 {
+		return ZKUpdate{}, errors.New("core: zk bound updates must be non-negative")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cur, ok := o.totals[group]
+	if !ok {
+		cur.opening = commit.Opening{M: big.NewInt(0), R: big.NewInt(0)}
+	}
+	newTotal := cur.total + value
+	if newTotal > o.bound {
+		return ZKUpdate{}, &ErrRejected{Receipt: Receipt{
+			UpdateID: id,
+			Accepted: false,
+			Violated: o.manager,
+			Reason:   fmt.Sprintf("owner refuses: total %d + %d exceeds bound %d", cur.total, value, o.bound),
+		}}
+	}
+	c, opening, err := o.params.Commit(big.NewInt(value), nil)
+	if err != nil {
+		return ZKUpdate{}, err
+	}
+	combinedOpening := o.params.AddOpenings(cur.opening, opening)
+	combined := o.params.CommitWith(combinedOpening.M, combinedOpening.R)
+	ctx := proofContext(o.manager, group, id)
+	proof, err := zk.ProveBound(o.params, combined, combinedOpening, big.NewInt(o.bound), ctx, nil)
+	if err != nil {
+		return ZKUpdate{}, err
+	}
+	o.totals[group] = ownerTotal{total: newTotal, opening: combinedOpening}
+	return ZKUpdate{ID: id, Producer: producer, Group: group, C: c, Proof: proof}, nil
+}

@@ -1,0 +1,255 @@
+package group
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateSmallGroup(t *testing.T) {
+	g, err := Generate(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p = 2q+1, both prime.
+	expect := new(big.Int).Mul(g.Q, big.NewInt(2))
+	expect.Add(expect, big.NewInt(1))
+	if expect.Cmp(g.P) != 0 {
+		t.Fatal("p != 2q+1")
+	}
+	if !g.Contains(g.G) {
+		t.Fatal("generator not in subgroup")
+	}
+}
+
+func TestGenerateRejectsTinyBits(t *testing.T) {
+	if _, err := Generate(8, nil); err == nil {
+		t.Fatal("tiny group accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := TestGroup()
+	if _, err := New(g.P, g.Q, g.G); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	if _, err := New(nil, g.Q, g.G); err == nil {
+		t.Fatal("nil p accepted")
+	}
+	badQ := new(big.Int).Add(g.Q, big.NewInt(1))
+	if _, err := New(g.P, badQ, g.G); err == nil {
+		t.Fatal("p != 2q+1 accepted")
+	}
+	if _, err := New(g.P, g.Q, big.NewInt(1)); err == nil {
+		t.Fatal("g=1 accepted")
+	}
+	// An element outside the QR subgroup: -1 mod p has order 2.
+	nonQR := new(big.Int).Sub(g.P, big.NewInt(1))
+	if _, err := New(g.P, g.Q, nonQR); err == nil {
+		t.Fatal("order-2 generator accepted")
+	}
+}
+
+func TestMODP2048Parameters(t *testing.T) {
+	g := MODP2048()
+	if g.Bits() != 2048 {
+		t.Fatalf("bits = %d", g.Bits())
+	}
+	if !g.P.ProbablyPrime(10) || !g.Q.ProbablyPrime(10) {
+		t.Fatal("MODP2048 p or q not prime")
+	}
+	if !g.Contains(g.G) {
+		t.Fatal("MODP2048 generator not in subgroup")
+	}
+	if MODP2048() != g {
+		t.Fatal("MODP2048 should be cached")
+	}
+}
+
+func TestExpLaws(t *testing.T) {
+	g := TestGroup()
+	a, _ := g.RandScalar(nil)
+	b, _ := g.RandScalar(nil)
+	// g^a * g^b == g^(a+b)
+	lhs := g.Mul(g.ExpG(a), g.ExpG(b))
+	sum := new(big.Int).Add(a, b)
+	if lhs.Cmp(g.ExpG(sum)) != 0 {
+		t.Fatal("exponent addition law failed")
+	}
+	// (g^a)^b == g^(ab)
+	lhs = g.Exp(g.ExpG(a), b)
+	prod := new(big.Int).Mul(a, b)
+	if lhs.Cmp(g.ExpG(prod)) != 0 {
+		t.Fatal("exponent multiplication law failed")
+	}
+}
+
+func TestNegativeExponent(t *testing.T) {
+	g := TestGroup()
+	a, _ := g.RandScalar(nil)
+	neg := new(big.Int).Neg(a)
+	// g^a * g^-a == 1
+	if g.Mul(g.ExpG(a), g.ExpG(neg)).Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("negative exponent not handled")
+	}
+}
+
+func TestDivAndInv(t *testing.T) {
+	g := TestGroup()
+	x, _ := g.RandElement(nil)
+	y, _ := g.RandElement(nil)
+	// (x*y)/y == x
+	if g.Div(g.Mul(x, y), y).Cmp(x) != 0 {
+		t.Fatal("div law failed")
+	}
+	if g.Mul(x, g.Inv(x)).Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("inverse law failed")
+	}
+}
+
+func TestRandElementInSubgroup(t *testing.T) {
+	g := TestGroup()
+	for i := 0; i < 10; i++ {
+		e, err := g.RandElement(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Contains(e) {
+			t.Fatalf("random element %v outside subgroup", e)
+		}
+	}
+}
+
+func TestContainsRejectsOutOfRange(t *testing.T) {
+	g := TestGroup()
+	if g.Contains(big.NewInt(0)) {
+		t.Fatal("0 in subgroup")
+	}
+	if g.Contains(new(big.Int).Neg(big.NewInt(3))) {
+		t.Fatal("negative in subgroup")
+	}
+	if g.Contains(g.P) {
+		t.Fatal("p in subgroup")
+	}
+}
+
+func TestDeriveElementProperties(t *testing.T) {
+	g := TestGroup()
+	h1 := g.DeriveElement("pedersen-h")
+	h2 := g.DeriveElement("pedersen-h")
+	h3 := g.DeriveElement("other-label")
+	if h1.Cmp(h2) != 0 {
+		t.Fatal("derivation not deterministic")
+	}
+	if h1.Cmp(h3) == 0 {
+		t.Fatal("different labels collided")
+	}
+	if !g.Contains(h1) || !g.Contains(h3) {
+		t.Fatal("derived element outside subgroup")
+	}
+}
+
+func TestHashToScalarProperties(t *testing.T) {
+	g := TestGroup()
+	c1 := g.HashToScalar("d", []byte("a"), []byte("b"))
+	c2 := g.HashToScalar("d", []byte("a"), []byte("b"))
+	if c1.Cmp(c2) != 0 {
+		t.Fatal("challenge not deterministic")
+	}
+	// Domain and message framing must matter.
+	if c1.Cmp(g.HashToScalar("d2", []byte("a"), []byte("b"))) == 0 {
+		t.Fatal("domain ignored")
+	}
+	if c1.Cmp(g.HashToScalar("d", []byte("ab"))) == 0 {
+		t.Fatal("length framing broken: [a,b] == [ab]")
+	}
+	if c1.Sign() < 0 || c1.Cmp(g.Q) >= 0 {
+		t.Fatal("challenge out of range")
+	}
+}
+
+// Property: every product / exponentiation result stays in the subgroup.
+func TestQuickClosure(t *testing.T) {
+	g := TestGroup()
+	f := func(seedA, seedB int64) bool {
+		a := g.ExpG(big.NewInt(seedA))
+		b := g.ExpG(big.NewInt(seedB))
+		return g.Contains(g.Mul(a, b)) && g.Contains(g.Exp(a, big.NewInt(seedB)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExpTestGroup(b *testing.B) {
+	g := TestGroup()
+	x, _ := g.RandScalar(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ExpG(x)
+	}
+}
+
+func BenchmarkExpMODP2048(b *testing.B) {
+	g := MODP2048()
+	x, _ := g.RandScalar(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ExpG(x)
+	}
+}
+
+func TestFixedBaseMatchesExp(t *testing.T) {
+	g := TestGroup()
+	fb := g.NewFixedBase(g.G)
+	for i := 0; i < 20; i++ {
+		e, _ := g.RandScalar(nil)
+		want := g.ExpG(e)
+		got := fb.Exp(e)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("fixed-base exp diverges for exponent %v", e)
+		}
+	}
+}
+
+func TestFixedBaseEdgeExponents(t *testing.T) {
+	g := TestGroup()
+	fb := g.NewFixedBase(g.G)
+	cases := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(15),
+		big.NewInt(16),
+		new(big.Int).Sub(g.Q, big.NewInt(1)), // q-1
+		new(big.Int).Neg(big.NewInt(5)),      // negative → mod q
+		new(big.Int).Add(g.Q, big.NewInt(7)), // > q → mod q
+	}
+	for _, e := range cases {
+		if fb.Exp(e).Cmp(g.ExpG(e)) != 0 {
+			t.Fatalf("fixed-base exp diverges for exponent %v", e)
+		}
+	}
+}
+
+func TestQuickFixedBase(t *testing.T) {
+	g := TestGroup()
+	h := g.DeriveElement("fixedbase-test")
+	fb := g.NewFixedBase(h)
+	f := func(raw int64) bool {
+		e := big.NewInt(raw)
+		return fb.Exp(e).Cmp(g.Exp(h, e)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFixedBaseExp(b *testing.B) {
+	g := TestGroup()
+	fb := g.NewFixedBase(g.G)
+	e, _ := g.RandScalar(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.Exp(e)
+	}
+}

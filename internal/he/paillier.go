@@ -1,0 +1,240 @@
+// Package he implements the Paillier additively homomorphic encryption
+// scheme. It is PReVer's substitute for fully homomorphic encryption in
+// Research Challenge 1 (single private database on an untrusted manager):
+// the manager evaluates linear constraints — sums, counts, bounded
+// aggregates — directly over ciphertexts without ever seeing plaintexts.
+//
+// Supported homomorphic operations:
+//
+//	Add(c1, c2)        Enc(m1) ⊕ Enc(m2)      = Enc(m1 + m2)
+//	AddPlain(c, k)     Enc(m)  ⊕ k            = Enc(m + k)
+//	MulPlain(c, k)     Enc(m)  ⊗ k            = Enc(m · k)
+//	Neg(c)             = Enc(-m)
+//
+// Messages are signed: values in [0, n/2) are positive, values in
+// (n/2, n) decode as negative, so bounded subtraction works naturally.
+package he
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey is the Paillier public key (n, and cached n²).
+type PublicKey struct {
+	N  *big.Int
+	N2 *big.Int // n², cached
+}
+
+// PrivateKey holds the decryption trapdoor.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // lambda^{-1} mod n
+}
+
+// Ciphertext is a Paillier ciphertext; an opaque element of Z_{n²}*.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// Clone returns an independent copy.
+func (c *Ciphertext) Clone() *Ciphertext {
+	return &Ciphertext{C: new(big.Int).Set(c.C)}
+}
+
+// GenerateKey creates a Paillier key pair with an n of roughly the given
+// bit length. Tests use small sizes (e.g. 256); benchmarks state theirs.
+func GenerateKey(bits int, rng io.Reader) (*PrivateKey, error) {
+	if bits < 64 {
+		return nil, fmt.Errorf("he: %d bits is too small", bits)
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	for {
+		p, err := rand.Prime(rng, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		q, err := rand.Prime(rng, bits-bits/2)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Mul(pm1, qm1)
+		lambda.Div(lambda, gcd)
+		mu := new(big.Int).ModInverse(lambda, n)
+		if mu == nil {
+			continue
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, N2: new(big.Int).Mul(n, n)},
+			lambda:    lambda,
+			mu:        mu,
+		}, nil
+	}
+}
+
+// MaxMagnitude returns the largest absolute plaintext value the key can
+// represent with signed decoding: floor((n-1)/2).
+func (pk *PublicKey) MaxMagnitude() *big.Int {
+	m := new(big.Int).Sub(pk.N, one)
+	return m.Rsh(m, 1)
+}
+
+// encode maps a signed message into Z_n.
+func (pk *PublicKey) encode(m *big.Int) (*big.Int, error) {
+	if new(big.Int).Abs(m).Cmp(pk.MaxMagnitude()) > 0 {
+		return nil, fmt.Errorf("he: message magnitude exceeds key capacity")
+	}
+	return new(big.Int).Mod(m, pk.N), nil
+}
+
+// decode maps Z_n back to a signed message.
+func (pk *PublicKey) decode(m *big.Int) *big.Int {
+	if m.Cmp(pk.MaxMagnitude()) > 0 {
+		return new(big.Int).Sub(m, pk.N)
+	}
+	return new(big.Int).Set(m)
+}
+
+// Encrypt encrypts a signed big integer message.
+// With g = n+1 the textbook c = g^m r^n mod n² simplifies to
+// c = (1 + m·n) · r^n mod n².
+func (pk *PublicKey) Encrypt(m *big.Int, rng io.Reader) (*Ciphertext, error) {
+	enc, err := pk.encode(m)
+	if err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	var r *big.Int
+	for {
+		r, err = rand.Int(rng, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			break
+		}
+	}
+	gm := new(big.Int).Mul(enc, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// EncryptInt is Encrypt for int64 messages.
+func (pk *PublicKey) EncryptInt(m int64, rng io.Reader) (*Ciphertext, error) {
+	return pk.Encrypt(big.NewInt(m), rng)
+}
+
+// Decrypt recovers the signed message.
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+	if ct == nil || ct.C == nil {
+		return nil, errors.New("he: nil ciphertext")
+	}
+	if ct.C.Sign() <= 0 || ct.C.Cmp(sk.N2) >= 0 {
+		return nil, errors.New("he: ciphertext out of range")
+	}
+	u := new(big.Int).Exp(ct.C, sk.lambda, sk.N2)
+	// L(u) = (u - 1) / n
+	u.Sub(u, one)
+	u.Div(u, sk.N)
+	u.Mul(u, sk.mu)
+	u.Mod(u, sk.N)
+	return sk.decode(u), nil
+}
+
+// DecryptInt decrypts to int64, erroring if the value does not fit.
+func (sk *PrivateKey) DecryptInt(ct *Ciphertext) (int64, error) {
+	m, err := sk.Decrypt(ct)
+	if err != nil {
+		return 0, err
+	}
+	if !m.IsInt64() {
+		return 0, fmt.Errorf("he: plaintext %v does not fit int64", m)
+	}
+	return m.Int64(), nil
+}
+
+// Add homomorphically adds two ciphertexts.
+func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}
+}
+
+// AddPlain homomorphically adds a plaintext constant without randomness
+// (the result remains semantically secure through the original ciphertext's
+// randomness).
+func (pk *PublicKey) AddPlain(a *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	enc, err := pk.encode(k)
+	if err != nil {
+		return nil, err
+	}
+	gk := new(big.Int).Mul(enc, pk.N)
+	gk.Add(gk, one)
+	gk.Mod(gk, pk.N2)
+	c := gk.Mul(gk, a.C)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// MulPlain homomorphically multiplies by a plaintext constant.
+func (pk *PublicKey) MulPlain(a *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	enc, err := pk.encode(k)
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{C: new(big.Int).Exp(a.C, enc, pk.N2)}, nil
+}
+
+// Neg homomorphically negates.
+func (pk *PublicKey) Neg(a *Ciphertext) *Ciphertext {
+	c, err := pk.MulPlain(a, big.NewInt(-1))
+	if err != nil {
+		// -1 always encodes; unreachable.
+		panic(err)
+	}
+	return c
+}
+
+// Sub computes Enc(a - b).
+func (pk *PublicKey) Sub(a, b *Ciphertext) *Ciphertext {
+	return pk.Add(a, pk.Neg(b))
+}
+
+// Rerandomize refreshes a ciphertext's randomness so that two occurrences
+// of the same value are unlinkable (used when a manager republishes
+// ciphertexts).
+func (pk *PublicKey) Rerandomize(a *Ciphertext, rng io.Reader) (*Ciphertext, error) {
+	zero, err := pk.Encrypt(big.NewInt(0), rng)
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(a, zero), nil
+}
+
+// EncryptZeroDeterministic returns the trivial encryption of zero (r = 1).
+// Useful as the additive identity when folding sums; NOT semantically
+// secure on its own.
+func (pk *PublicKey) EncryptZeroDeterministic() *Ciphertext {
+	return &Ciphertext{C: new(big.Int).Set(one)}
+}

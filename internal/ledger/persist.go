@@ -1,0 +1,93 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// journalFile is the on-disk format: a versioned envelope so future
+// format changes stay detectable.
+type journalFile struct {
+	Format  string  `json:"format"`
+	Digest  Digest  `json:"digest"`
+	Entries []Entry `json:"entries"`
+}
+
+const journalFormat = "prever/ledger/journal/v1"
+
+// MarshalJournal serializes the full journal plus its digest.
+func (l *Ledger) MarshalJournal() ([]byte, error) {
+	l.mu.RLock()
+	f := journalFile{
+		Format:  journalFormat,
+		Digest:  l.digestLocked(),
+		Entries: l.entries,
+	}
+	data, err := json.MarshalIndent(&f, "", " ")
+	l.mu.RUnlock()
+	if err != nil {
+		return nil, fmt.Errorf("ledger: marshal journal: %w", err)
+	}
+	return data, nil
+}
+
+// SaveFile writes the journal to path.
+func (l *Ledger) SaveFile(path string) error {
+	data, err := l.MarshalJournal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// UnmarshalJournal parses a serialized journal, returning the entries and
+// the digest the writer claimed. It does NOT verify; call Audit or
+// FromJournal for that.
+func UnmarshalJournal(data []byte) ([]Entry, Digest, error) {
+	var f journalFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, Digest{}, fmt.Errorf("ledger: unmarshal journal: %w", err)
+	}
+	if f.Format != journalFormat {
+		return nil, Digest{}, fmt.Errorf("ledger: unknown journal format %q", f.Format)
+	}
+	return f.Entries, f.Digest, nil
+}
+
+// FromJournal reconstructs a ledger from an exported journal, refusing any
+// journal that fails the audit against the embedded digest. This is how a
+// ledger survives a restart — and how a reader rejects a tampered file.
+func FromJournal(entries []Entry, d Digest) (*Ledger, error) {
+	if rep := Audit(entries, d); !rep.Clean() {
+		return nil, fmt.Errorf("ledger: journal failed audit: %v", rep.TamperErr)
+	}
+	l := New()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range entries {
+		e := cloneEntry(e)
+		l.entries = append(l.entries, e)
+		l.tree.Append(e.leafBytes())
+		switch e.Kind {
+		case OpPut:
+			l.state.Put(e.Key, e.Value)
+		case OpDelete:
+			l.state.Delete(e.Key)
+		}
+	}
+	return l, nil
+}
+
+// LoadFile reads, verifies and reconstructs a ledger from path.
+func LoadFile(path string) (*Ledger, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	entries, d, err := UnmarshalJournal(data)
+	if err != nil {
+		return nil, err
+	}
+	return FromJournal(entries, d)
+}

@@ -1,0 +1,99 @@
+package ledger
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+func TestJournalMarshalRoundTrip(t *testing.T) {
+	l := newTestLedger()
+	fill(l, 25)
+	l.Delete("k003", "auditor", "txd")
+	data, err := l.MarshalJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, d, err := UnmarshalJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != l.Digest() {
+		t.Fatal("digest changed through serialization")
+	}
+	restored, err := FromJournal(entries, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Digest() != l.Digest() {
+		t.Fatal("restored ledger digest differs")
+	}
+	// State must match too.
+	if _, err := restored.Get("k003"); err == nil {
+		t.Fatal("restored ledger resurrected a deleted key")
+	}
+	want, _ := l.Get("k004")
+	got, err := restored.Get("k004")
+	if err != nil || string(got) != string(want) {
+		t.Fatalf("restored state mismatch: %q vs %q (%v)", got, want, err)
+	}
+	// The restored ledger keeps working.
+	if _, err := restored.Put("new", []byte("x"), "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromJournalRejectsTamper(t *testing.T) {
+	l := newTestLedger()
+	fill(l, 10)
+	data, _ := l.MarshalJournal()
+	entries, d, _ := UnmarshalJournal(data)
+	entries[3].Value = []byte("rewritten")
+	if _, err := FromJournal(entries, d); err == nil {
+		t.Fatal("tampered journal loaded")
+	}
+}
+
+func TestUnmarshalJournalRejectsGarbage(t *testing.T) {
+	if _, _, err := UnmarshalJournal([]byte("not-json")); err == nil {
+		t.Fatal("garbage parsed")
+	}
+	wrong, _ := json.Marshal(map[string]any{"format": "other/v9"})
+	if _, _, err := UnmarshalJournal(wrong); err == nil {
+		t.Fatal("wrong format accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	l := newTestLedger()
+	fill(l, 12)
+	path := filepath.Join(t.TempDir(), "journal.json")
+	if err := l.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Digest() != l.Digest() {
+		t.Fatal("file round trip changed the digest")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestSaveLoadEmptyLedger(t *testing.T) {
+	l := newTestLedger()
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := l.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != 0 {
+		t.Fatalf("restored size = %d", restored.Size())
+	}
+}

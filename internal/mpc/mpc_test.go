@@ -1,0 +1,305 @@
+package mpc
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+	"time"
+
+	"prever/internal/he"
+	"prever/internal/netsim"
+)
+
+func newParties(t testing.TB, n int, cfg netsim.Config) (*netsim.Network, []*SumParty) {
+	t.Helper()
+	net := netsim.New(cfg)
+	t.Cleanup(net.Close)
+	parties := make([]*SumParty, n)
+	for i := 0; i < n; i++ {
+		p, err := NewSumParty(net, fmt.Sprintf("m%d", i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parties[i] = p
+	}
+	return net, parties
+}
+
+func ids(parties []*SumParty) []string {
+	out := make([]string, len(parties))
+	for i, p := range parties {
+		out[i] = p.ID()
+	}
+	return out
+}
+
+func TestSecureSumBasic(t *testing.T) {
+	_, parties := newParties(t, 3, netsim.Config{})
+	inputs := []int64{10, 25, 7}
+	for i, p := range parties {
+		p.SetInput("s1", big.NewInt(inputs[i]))
+	}
+	total, err := parties[0].RunSum("s1", ids(parties), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Int64() != 42 {
+		t.Fatalf("total = %v, want 42", total)
+	}
+}
+
+func TestSecureSumAllPartiesLearnResult(t *testing.T) {
+	_, parties := newParties(t, 4, netsim.Config{})
+	for i, p := range parties {
+		p.SetInput("s2", big.NewInt(int64(i+1)))
+	}
+	if _, err := parties[0].RunSum("s2", ids(parties), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for _, p := range parties {
+		for {
+			if total, ok := p.Result("s2"); ok {
+				if total.Int64() != 10 {
+					t.Fatalf("party %s sees total %v", p.ID(), total)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("party %s never learned the total", p.ID())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestSecureSumNegativeValues(t *testing.T) {
+	_, parties := newParties(t, 3, netsim.Config{})
+	inputs := []int64{-50, 20, 10}
+	for i, p := range parties {
+		p.SetInput("s3", big.NewInt(inputs[i]))
+	}
+	total, err := parties[0].RunSum("s3", ids(parties), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Int64() != -20 {
+		t.Fatalf("total = %v, want -20", total)
+	}
+}
+
+func TestSecureSumMissingInputCountsAsZero(t *testing.T) {
+	_, parties := newParties(t, 3, netsim.Config{})
+	parties[0].SetInput("s4", big.NewInt(5))
+	parties[1].SetInput("s4", big.NewInt(6))
+	// parties[2] stages nothing.
+	total, err := parties[0].RunSum("s4", ids(parties), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Int64() != 11 {
+		t.Fatalf("total = %v, want 11", total)
+	}
+}
+
+func TestSecureSumInitiatorMustParticipate(t *testing.T) {
+	_, parties := newParties(t, 3, netsim.Config{})
+	if _, err := parties[0].RunSum("s5", []string{"m1", "m2"}, time.Second); err == nil {
+		t.Fatal("initiator outside the party list accepted")
+	}
+}
+
+func TestSecureSumTimesOutWithDeadParty(t *testing.T) {
+	net, parties := newParties(t, 3, netsim.Config{})
+	for _, p := range parties {
+		p.SetInput("s6", big.NewInt(1))
+	}
+	net.Partition([]string{"m2"}) // one party unreachable
+	if _, err := parties[0].RunSum("s6", ids(parties), 200*time.Millisecond); err == nil {
+		t.Fatal("sum completed without all parties")
+	}
+}
+
+func TestSecureSumWithLatency(t *testing.T) {
+	_, parties := newParties(t, 4, netsim.Config{Latency: 2 * time.Millisecond, Jitter: time.Millisecond, Seed: 5})
+	for i, p := range parties {
+		p.SetInput("s7", big.NewInt(int64(100*i)))
+	}
+	total, err := parties[0].RunSum("s7", ids(parties), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Int64() != 600 {
+		t.Fatalf("total = %v, want 600", total)
+	}
+}
+
+func TestSecureSumConcurrentSessions(t *testing.T) {
+	_, parties := newParties(t, 3, netsim.Config{})
+	var wg sync.WaitGroup
+	errs := make([]error, 5)
+	for s := 0; s < 5; s++ {
+		sid := fmt.Sprintf("multi-%d", s)
+		for i, p := range parties {
+			p.SetInput(sid, big.NewInt(int64(s*10+i)))
+		}
+	}
+	for s := 0; s < 5; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sid := fmt.Sprintf("multi-%d", s)
+			total, err := parties[0].RunSum(sid, ids(parties), 5*time.Second)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			want := int64(s*30 + 3)
+			if total.Int64() != want {
+				errs[s] = fmt.Errorf("session %d: total %v, want %d", s, total, want)
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func newHelper(t testing.TB) *Helper {
+	helperOnce.Do(func() {
+		var err error
+		testHelper, err = NewHelper(256)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return testHelper
+}
+
+var (
+	helperOnce sync.Once
+	testHelper *Helper
+)
+
+func TestCheckBoundSatisfied(t *testing.T) {
+	h := newHelper(t)
+	pk := h.PublicKey()
+	var inputs []*he.Ciphertext
+	for _, v := range []int64{10, 12, 8} { // total 30 <= 40
+		ct, err := EncryptInput(pk, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs = append(inputs, ct)
+	}
+	ok, err := CheckBound(pk, h, inputs, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("30 <= 40 reported as violated")
+	}
+}
+
+func TestCheckBoundViolated(t *testing.T) {
+	h := newHelper(t)
+	pk := h.PublicKey()
+	var inputs []*he.Ciphertext
+	for _, v := range []int64{20, 15, 10} { // total 45 > 40
+		ct, _ := EncryptInput(pk, v)
+		inputs = append(inputs, ct)
+	}
+	ok, err := CheckBound(pk, h, inputs, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("45 <= 40 reported as satisfied")
+	}
+}
+
+func TestCheckBoundExactBoundary(t *testing.T) {
+	h := newHelper(t)
+	pk := h.PublicKey()
+	var inputs []*he.Ciphertext
+	for _, v := range []int64{20, 20} { // total exactly 40
+		ct, _ := EncryptInput(pk, v)
+		inputs = append(inputs, ct)
+	}
+	ok, err := CheckBound(pk, h, inputs, 40)
+	if err != nil || !ok {
+		t.Fatalf("40 <= 40: ok=%v err=%v", ok, err)
+	}
+	// And 41 must fail.
+	extra, _ := EncryptInput(pk, 1)
+	ok, err = CheckBound(pk, h, append(inputs, extra), 40)
+	if err != nil || ok {
+		t.Fatalf("41 <= 40: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCheckBoundEmptyInputs(t *testing.T) {
+	h := newHelper(t)
+	ok, err := CheckBound(h.PublicKey(), h, nil, 0)
+	if err != nil || !ok {
+		t.Fatalf("empty check: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCheckBoundNilInputRejected(t *testing.T) {
+	h := newHelper(t)
+	if _, err := CheckBound(h.PublicKey(), h, []*he.Ciphertext{nil}, 10); err == nil {
+		t.Fatal("nil input accepted")
+	}
+}
+
+func TestCheckBoundManyTrials(t *testing.T) {
+	// The random mask must never flip the comparison.
+	h := newHelper(t)
+	pk := h.PublicKey()
+	for trial := 0; trial < 20; trial++ {
+		v := int64(trial * 5) // 0..95
+		ct, _ := EncryptInput(pk, v)
+		ok, err := CheckBound(pk, h, []*he.Ciphertext{ct}, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != (v <= 50) {
+			t.Fatalf("v=%d bound=50: got %v", v, ok)
+		}
+	}
+}
+
+func BenchmarkSecureSum4(b *testing.B) {
+	_, parties := newParties(b, 4, netsim.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sid := fmt.Sprintf("bench-%d", i)
+		for j, p := range parties {
+			p.SetInput(sid, big.NewInt(int64(j)))
+		}
+		if _, err := parties[0].RunSum(sid, ids(parties), 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckBound3(b *testing.B) {
+	h := newHelper(b)
+	pk := h.PublicKey()
+	var inputs []*he.Ciphertext
+	for _, v := range []int64{10, 12, 8} {
+		ct, _ := EncryptInput(pk, v)
+		inputs = append(inputs, ct)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CheckBound(pk, h, inputs, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package netsim provides an in-process simulated network for PReVer's
+// distributed substrates (Paxos, PBFT, MPC). Nodes register handlers;
+// messages are delivered asynchronously with configurable latency, jitter,
+// drop probability, and partitions, so protocol implementations are
+// exercised against realistic (mis)behaviour without real sockets.
+//
+// Each node's handler runs on a single dedicated goroutine, so a node never
+// processes two messages concurrently — the same execution model as a
+// single-threaded event loop per replica.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Message is one network message.
+type Message struct {
+	From    string
+	To      string
+	Type    string
+	Payload []byte
+}
+
+// Handler processes a delivered message.
+type Handler func(Message)
+
+// Config tunes the simulated link behaviour.
+type Config struct {
+	Latency  time.Duration // base one-way delay
+	Jitter   time.Duration // uniform extra delay in [0, Jitter)
+	DropRate float64       // probability a message is silently dropped
+	Seed     int64         // RNG seed for jitter/drops (0 = time-based)
+	Buffer   int           // per-node inbox size (default 1024)
+}
+
+// Network is the hub all nodes attach to. Safe for concurrent use.
+type Network struct {
+	cfg Config
+
+	mu        sync.RWMutex
+	nodes     map[string]*node
+	partition map[string]int // node -> partition group; absent = group 0
+	closed    bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	sent      atomic.Int64
+	delivered atomic.Int64
+	dropped   atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+type node struct {
+	id      string
+	inbox   chan Message
+	handler Handler
+}
+
+// New creates a network with the given link configuration.
+func New(cfg Config) *Network {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 1024
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Network{
+		cfg:       cfg,
+		nodes:     make(map[string]*node),
+		partition: make(map[string]int),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register attaches a node with a handler. The handler runs sequentially
+// on its own goroutine. Registering a duplicate id returns an error.
+func (n *Network) Register(id string, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return fmt.Errorf("netsim: network closed")
+	}
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("netsim: node %q already registered", id)
+	}
+	nd := &node{id: id, inbox: make(chan Message, n.cfg.Buffer), handler: h}
+	n.nodes[id] = nd
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for msg := range nd.inbox {
+			nd.handler(msg)
+		}
+	}()
+	return nil
+}
+
+// Nodes returns the registered node ids.
+func (n *Network) Nodes() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Send delivers a message asynchronously, applying latency, drops, and
+// partitions. Sending to an unknown node or across a partition silently
+// drops (as a real network would).
+func (n *Network) Send(msg Message) {
+	n.sent.Add(1)
+	n.mu.RLock()
+	if n.closed {
+		n.mu.RUnlock()
+		n.dropped.Add(1)
+		return
+	}
+	dst, ok := n.nodes[msg.To]
+	sameSide := n.partition[msg.From] == n.partition[msg.To]
+	n.mu.RUnlock()
+	if !ok || !sameSide {
+		n.dropped.Add(1)
+		return
+	}
+	if n.cfg.DropRate > 0 && n.randFloat() < n.cfg.DropRate {
+		n.dropped.Add(1)
+		return
+	}
+	delay := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		delay += time.Duration(n.randInt63(int64(n.cfg.Jitter)))
+	}
+	deliver := func() {
+		defer func() {
+			// Inbox may be closed during shutdown; drop instead of crash.
+			if recover() != nil {
+				n.dropped.Add(1)
+			}
+		}()
+		select {
+		case dst.inbox <- msg:
+			n.delivered.Add(1)
+		default:
+			// Inbox overflow models a congested replica.
+			n.dropped.Add(1)
+		}
+	}
+	if delay <= 0 {
+		deliver()
+		return
+	}
+	time.AfterFunc(delay, deliver)
+}
+
+// Broadcast sends msg to every registered node except the sender.
+func (n *Network) Broadcast(from, msgType string, payload []byte) {
+	n.mu.RLock()
+	ids := make([]string, 0, len(n.nodes))
+	for id := range n.nodes {
+		if id != from {
+			ids = append(ids, id)
+		}
+	}
+	n.mu.RUnlock()
+	for _, id := range ids {
+		n.Send(Message{From: from, To: id, Type: msgType, Payload: payload})
+	}
+}
+
+// Partition splits nodes into groups; messages only flow within a group.
+// Nodes not mentioned stay in group 0.
+func (n *Network) Partition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[string]int)
+	for g, ids := range groups {
+		for _, id := range ids {
+			n.partition[id] = g + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[string]int)
+}
+
+// Stats reports message counters: sent, delivered, dropped.
+func (n *Network) Stats() (sent, delivered, dropped int64) {
+	return n.sent.Load(), n.delivered.Load(), n.dropped.Load()
+}
+
+// ResetStats zeroes the counters (benchmarks call this between phases).
+func (n *Network) ResetStats() {
+	n.sent.Store(0)
+	n.delivered.Store(0)
+	n.dropped.Store(0)
+}
+
+// Close shuts the network down and waits for all handler goroutines to
+// drain. Messages still in flight after Close are dropped.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	for _, nd := range n.nodes {
+		close(nd.inbox)
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+func (n *Network) randFloat() float64 {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Float64()
+}
+
+func (n *Network) randInt63(max int64) int64 {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Int63n(max)
+}

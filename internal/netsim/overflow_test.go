@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestInboxOverflowDropsInsteadOfBlocking: a congested receiver must not
+// block senders; excess messages are counted as dropped.
+func TestInboxOverflowDropsInsteadOfBlocking(t *testing.T) {
+	n := New(Config{Buffer: 4})
+	defer n.Close()
+	release := make(chan struct{})
+	var handled atomic.Int64
+	n.Register("slow", func(Message) {
+		<-release
+		handled.Add(1)
+	})
+	n.Register("fast", func(Message) {})
+	// Flood: 1 in-flight in the handler + 4 buffered; the rest must drop.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 20; i++ {
+			n.Send(Message{From: "fast", To: "slow", Type: "t"})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sender blocked on a congested receiver")
+	}
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		_, delivered, dropped := n.Stats()
+		if delivered+dropped == 20 && delivered >= 4 && dropped > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sent, delivered, dropped := n.Stats()
+	t.Fatalf("overflow accounting: sent=%d delivered=%d dropped=%d", sent, delivered, dropped)
+}
+
+// TestJitterReordersButDelivers: with jitter, all messages still arrive.
+func TestJitterDeliversEverything(t *testing.T) {
+	n := New(Config{Jitter: 2 * time.Millisecond, Seed: 13})
+	defer n.Close()
+	var count atomic.Int64
+	n.Register("rx", func(Message) { count.Add(1) })
+	n.Register("tx", func(Message) {})
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		n.Send(Message{From: "tx", To: "rx", Type: "t"})
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && count.Load() < msgs {
+		time.Sleep(time.Millisecond)
+	}
+	if count.Load() != msgs {
+		t.Fatalf("delivered %d/%d with jitter", count.Load(), msgs)
+	}
+}

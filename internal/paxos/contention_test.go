@@ -1,0 +1,90 @@
+package paxos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"prever/internal/netsim"
+)
+
+// TestDuelingLeadersConverge: two replicas grab leadership in turn; the
+// committed log must stay consistent (no slot chosen twice with different
+// values) and the higher ballot wins.
+func TestDuelingLeadersConverge(t *testing.T) {
+	c := newCluster(t, 5, netsim.Config{})
+	a, b := c.replicas[0], c.replicas[1]
+	if err := a.BecomeLeader(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := a.Propose([]byte(fmt.Sprintf("a-%d", i)), 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// b usurps leadership mid-stream.
+	if err := b.BecomeLeader(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Propose([]byte(fmt.Sprintf("b-%d", i)), 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a tries again, re-elects with a higher ballot, proposes more.
+	if err := a.BecomeLeader(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Propose([]byte("a-final"), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Every chosen slot must agree across the replicas that know it.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && a.Applied() < 7 {
+		time.Sleep(time.Millisecond)
+	}
+	for slot := uint64(0); slot < 7; slot++ {
+		var ref []byte
+		for _, r := range c.replicas {
+			v, ok := r.Chosen(slot)
+			if !ok {
+				continue
+			}
+			if ref == nil {
+				ref = v
+			} else if string(ref) != string(v) {
+				t.Fatalf("slot %d chosen twice: %q vs %q", slot, ref, v)
+			}
+		}
+		if ref == nil {
+			t.Fatalf("slot %d never chosen anywhere", slot)
+		}
+	}
+}
+
+// TestElectionRecoveryOfUnchosenValue: a value accepted by a minority
+// under a dying leader must either be completed or consistently replaced —
+// never half-applied.
+func TestElectionRecoveryPreservesAcceptedValues(t *testing.T) {
+	c := newCluster(t, 3, netsim.Config{})
+	old := c.replicas[0]
+	if err := old.BecomeLeader(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.Propose([]byte("committed"), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the old leader before it can propose more.
+	c.net.Partition([]string{"r0"})
+	next := c.replicas[1]
+	if err := next.BecomeLeader(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := next.Propose([]byte("next-era"), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := next.Chosen(0)
+	if !ok || string(v) != "committed" {
+		t.Fatalf("slot 0 after failover = %q, %v", v, ok)
+	}
+}

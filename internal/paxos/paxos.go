@@ -1,0 +1,450 @@
+// Package paxos implements Multi-Paxos over the simulated network: a
+// crash-fault-tolerant replicated log with a stable leader, phase-1 leader
+// election (prepare/promise with accepted-value recovery), and phase-2
+// slot replication (accept/accepted/learn).
+//
+// The paper prescribes Paxos as one of the two standard fault-tolerant
+// baselines ("distributed solutions should be compared in terms of
+// throughput and latency with standard distributed fault-tolerant
+// protocols, e.g., Paxos and PBFT"); experiment E4 uses this package as
+// the non-Byzantine baseline against PBFT and the sharded chain.
+package paxos
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"prever/internal/netsim"
+)
+
+// Ballot orders leadership claims: higher N wins, ties broken by ID.
+type Ballot struct {
+	N  uint64 `json:"n"`
+	ID string `json:"id"`
+}
+
+// Less reports whether b orders before o.
+func (b Ballot) Less(o Ballot) bool {
+	if b.N != o.N {
+		return b.N < o.N
+	}
+	return b.ID < o.ID
+}
+
+// Message type tags on the wire.
+const (
+	msgPrepare  = "paxos/prepare"
+	msgPromise  = "paxos/promise"
+	msgAccept   = "paxos/accept"
+	msgAccepted = "paxos/accepted"
+	msgLearn    = "paxos/learn"
+)
+
+type slotValue struct {
+	Slot   uint64 `json:"slot"`
+	Ballot Ballot `json:"ballot"`
+	Value  []byte `json:"value"`
+}
+
+type prepareMsg struct {
+	Ballot Ballot `json:"ballot"`
+}
+
+type promiseMsg struct {
+	Ballot   Ballot      `json:"ballot"`
+	Accepted []slotValue `json:"accepted,omitempty"`
+}
+
+type acceptMsg struct {
+	Ballot Ballot `json:"ballot"`
+	Slot   uint64 `json:"slot"`
+	Value  []byte `json:"value"`
+}
+
+type acceptedMsg struct {
+	Ballot Ballot `json:"ballot"`
+	Slot   uint64 `json:"slot"`
+}
+
+type learnMsg struct {
+	Slot  uint64 `json:"slot"`
+	Value []byte `json:"value"`
+}
+
+// Applier is called with each chosen value, in slot order, exactly once
+// per replica.
+type Applier func(slot uint64, value []byte)
+
+// Replica is one Paxos node: acceptor + learner, and optionally the
+// leader/proposer.
+type Replica struct {
+	id    string
+	peers []string // all replica ids including self
+	net   *netsim.Network
+	apply Applier
+
+	mu sync.Mutex
+	// Acceptor state.
+	promised Ballot
+	accepted map[uint64]slotValue
+	// Leader state.
+	leading   bool
+	ballot    Ballot
+	nextSlot  uint64
+	promises  map[string]promiseMsg
+	promiseCh chan struct{}
+	votes     map[uint64]map[string]bool
+	// Learner state.
+	chosen   map[uint64][]byte
+	applied  uint64
+	waiters  map[uint64]chan struct{}
+	lastSeen Ballot // highest ballot observed anywhere (for election)
+}
+
+// NewReplica creates and registers a replica on the network. peers must
+// include the replica's own id. apply may be nil.
+func NewReplica(net *netsim.Network, id string, peers []string, apply Applier) (*Replica, error) {
+	r := &Replica{
+		id:       id,
+		peers:    append([]string(nil), peers...),
+		net:      net,
+		apply:    apply,
+		accepted: make(map[uint64]slotValue),
+		votes:    make(map[uint64]map[string]bool),
+		chosen:   make(map[uint64][]byte),
+		waiters:  make(map[uint64]chan struct{}),
+	}
+	found := false
+	for _, p := range peers {
+		if p == id {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("paxos: peers must include self (%s)", id)
+	}
+	if err := net.Register(id, r.handle); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ID returns the replica id.
+func (r *Replica) ID() string { return r.id }
+
+// quorum is the majority size.
+func (r *Replica) quorum() int { return len(r.peers)/2 + 1 }
+
+// BecomeLeader runs phase 1: it picks a ballot above anything seen,
+// collects a majority of promises, re-proposes any previously accepted
+// values, and switches to steady-state leadership. Blocks up to timeout.
+func (r *Replica) BecomeLeader(timeout time.Duration) error {
+	r.mu.Lock()
+	n := r.lastSeen.N + 1
+	r.ballot = Ballot{N: n, ID: r.id}
+	r.lastSeen = r.ballot
+	r.promises = map[string]promiseMsg{}
+	r.promiseCh = make(chan struct{}, len(r.peers))
+	// Self-promise.
+	if r.promised.Less(r.ballot) {
+		r.promised = r.ballot
+	}
+	r.promises[r.id] = promiseMsg{Ballot: r.ballot, Accepted: r.acceptedListLocked()}
+	ballot := r.ballot
+	r.mu.Unlock()
+
+	r.broadcast(msgPrepare, prepareMsg{Ballot: ballot})
+
+	deadline := time.After(timeout)
+	for {
+		r.mu.Lock()
+		if len(r.promises) >= r.quorum() {
+			// Adopt the highest-ballot accepted value per slot and
+			// re-propose under the new ballot.
+			adopt := map[uint64]slotValue{}
+			maxSlot := uint64(0)
+			for _, p := range r.promises {
+				for _, sv := range p.Accepted {
+					cur, ok := adopt[sv.Slot]
+					if !ok || cur.Ballot.Less(sv.Ballot) {
+						adopt[sv.Slot] = sv
+					}
+					if sv.Slot+1 > maxSlot {
+						maxSlot = sv.Slot + 1
+					}
+				}
+			}
+			if maxSlot > r.nextSlot {
+				r.nextSlot = maxSlot
+			}
+			r.leading = true
+			reproposals := make([]acceptMsg, 0, len(adopt))
+			for slot, sv := range adopt {
+				if _, done := r.chosen[slot]; done {
+					continue
+				}
+				reproposals = append(reproposals, acceptMsg{Ballot: r.ballot, Slot: slot, Value: sv.Value})
+			}
+			r.mu.Unlock()
+			for _, a := range reproposals {
+				r.sendAccept(a)
+			}
+			return nil
+		}
+		ch := r.promiseCh
+		r.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline:
+			return errors.New("paxos: leader election timed out")
+		}
+	}
+}
+
+// IsLeader reports whether this replica currently believes it leads.
+func (r *Replica) IsLeader() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leading
+}
+
+// Propose replicates value into the next log slot. Only valid on the
+// leader. Blocks until the value is chosen and applied locally, or the
+// timeout elapses.
+func (r *Replica) Propose(value []byte, timeout time.Duration) (uint64, error) {
+	r.mu.Lock()
+	if !r.leading {
+		r.mu.Unlock()
+		return 0, errors.New("paxos: not the leader")
+	}
+	slot := r.nextSlot
+	r.nextSlot++
+	done := make(chan struct{})
+	r.waiters[slot] = done
+	a := acceptMsg{Ballot: r.ballot, Slot: slot, Value: value}
+	r.mu.Unlock()
+
+	r.sendAccept(a)
+
+	select {
+	case <-done:
+		return slot, nil
+	case <-time.After(timeout):
+		r.mu.Lock()
+		delete(r.waiters, slot)
+		r.mu.Unlock()
+		return 0, fmt.Errorf("paxos: proposal for slot %d timed out", slot)
+	}
+}
+
+// sendAccept broadcasts an accept and processes the leader's own vote.
+func (r *Replica) sendAccept(a acceptMsg) {
+	r.broadcast(msgAccept, a)
+	// Self-accept.
+	r.onAccept(r.id, a)
+}
+
+// Chosen returns the chosen value for a slot, if any.
+func (r *Replica) Chosen(slot uint64) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.chosen[slot]
+	return v, ok
+}
+
+// Applied returns the number of contiguous slots applied so far.
+func (r *Replica) Applied() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+func (r *Replica) acceptedListLocked() []slotValue {
+	out := make([]slotValue, 0, len(r.accepted))
+	for _, sv := range r.accepted {
+		out = append(out, sv)
+	}
+	return out
+}
+
+func (r *Replica) broadcast(msgType string, v any) {
+	payload := mustJSON(v)
+	for _, p := range r.peers {
+		if p == r.id {
+			continue
+		}
+		r.net.Send(netsim.Message{From: r.id, To: p, Type: msgType, Payload: payload})
+	}
+}
+
+func (r *Replica) send(to, msgType string, v any) {
+	r.net.Send(netsim.Message{From: r.id, To: to, Type: msgType, Payload: mustJSON(v)})
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("paxos: marshal: %v", err))
+	}
+	return b
+}
+
+// handle dispatches incoming messages; it runs on the node's single
+// netsim goroutine.
+func (r *Replica) handle(m netsim.Message) {
+	switch m.Type {
+	case msgPrepare:
+		var p prepareMsg
+		if json.Unmarshal(m.Payload, &p) != nil {
+			return
+		}
+		r.onPrepare(m.From, p)
+	case msgPromise:
+		var p promiseMsg
+		if json.Unmarshal(m.Payload, &p) != nil {
+			return
+		}
+		r.onPromise(m.From, p)
+	case msgAccept:
+		var a acceptMsg
+		if json.Unmarshal(m.Payload, &a) != nil {
+			return
+		}
+		r.onAccept(m.From, a)
+	case msgAccepted:
+		var a acceptedMsg
+		if json.Unmarshal(m.Payload, &a) != nil {
+			return
+		}
+		r.onAccepted(m.From, a)
+	case msgLearn:
+		var l learnMsg
+		if json.Unmarshal(m.Payload, &l) != nil {
+			return
+		}
+		r.onLearn(l)
+	}
+}
+
+func (r *Replica) onPrepare(from string, p prepareMsg) {
+	r.mu.Lock()
+	if r.lastSeen.Less(p.Ballot) {
+		r.lastSeen = p.Ballot
+	}
+	if r.promised.Less(p.Ballot) {
+		r.promised = p.Ballot
+		// A higher ballot demotes any current leadership.
+		if r.leading && r.ballot.Less(p.Ballot) {
+			r.leading = false
+		}
+		reply := promiseMsg{Ballot: p.Ballot, Accepted: r.acceptedListLocked()}
+		r.mu.Unlock()
+		r.send(from, msgPromise, reply)
+		return
+	}
+	r.mu.Unlock()
+}
+
+func (r *Replica) onPromise(from string, p promiseMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.promises == nil || p.Ballot != r.ballot {
+		return
+	}
+	r.promises[from] = p
+	select {
+	case r.promiseCh <- struct{}{}:
+	default:
+	}
+}
+
+func (r *Replica) onAccept(from string, a acceptMsg) {
+	r.mu.Lock()
+	if r.lastSeen.Less(a.Ballot) {
+		r.lastSeen = a.Ballot
+	}
+	if a.Ballot.Less(r.promised) {
+		r.mu.Unlock()
+		return // stale ballot: reject silently
+	}
+	r.promised = a.Ballot
+	r.accepted[a.Slot] = slotValue{Slot: a.Slot, Ballot: a.Ballot, Value: a.Value}
+	r.mu.Unlock()
+	if from == r.id {
+		// Leader's self-vote.
+		r.onAccepted(r.id, acceptedMsg{Ballot: a.Ballot, Slot: a.Slot})
+		return
+	}
+	r.send(from, msgAccepted, acceptedMsg{Ballot: a.Ballot, Slot: a.Slot})
+}
+
+func (r *Replica) onAccepted(from string, a acceptedMsg) {
+	r.mu.Lock()
+	if !r.leading || a.Ballot != r.ballot {
+		r.mu.Unlock()
+		return
+	}
+	if _, done := r.chosen[a.Slot]; done {
+		r.mu.Unlock()
+		return
+	}
+	if r.votes[a.Slot] == nil {
+		r.votes[a.Slot] = map[string]bool{}
+	}
+	r.votes[a.Slot][from] = true
+	if len(r.votes[a.Slot]) < r.quorum() {
+		r.mu.Unlock()
+		return
+	}
+	// Chosen: learn locally and tell everyone.
+	sv, ok := r.accepted[a.Slot]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	value := sv.Value
+	r.mu.Unlock()
+	r.broadcast(msgLearn, learnMsg{Slot: a.Slot, Value: value})
+	r.onLearn(learnMsg{Slot: a.Slot, Value: value})
+}
+
+func (r *Replica) onLearn(l learnMsg) {
+	r.mu.Lock()
+	if _, done := r.chosen[l.Slot]; done {
+		r.mu.Unlock()
+		return
+	}
+	r.chosen[l.Slot] = l.Value
+	// Apply contiguous prefix.
+	type applyItem struct {
+		slot  uint64
+		value []byte
+	}
+	var toApply []applyItem
+	for {
+		v, ok := r.chosen[r.applied]
+		if !ok {
+			break
+		}
+		toApply = append(toApply, applyItem{r.applied, v})
+		r.applied++
+	}
+	var toWake []chan struct{}
+	if ch, ok := r.waiters[l.Slot]; ok {
+		toWake = append(toWake, ch)
+		delete(r.waiters, l.Slot)
+	}
+	apply := r.apply
+	r.mu.Unlock()
+	if apply != nil {
+		for _, it := range toApply {
+			apply(it.slot, it.value)
+		}
+	}
+	for _, ch := range toWake {
+		close(ch)
+	}
+}

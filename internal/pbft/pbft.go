@@ -1,0 +1,809 @@
+// Package pbft implements Practical Byzantine Fault Tolerance
+// (Castro & Liskov, OSDI '99) over the simulated network: the three-phase
+// pre-prepare / prepare / commit protocol with request batching, HMAC
+// message authentication, checkpointing, and a view-change protocol that
+// recovers prepared-but-unexecuted batches under a new primary.
+//
+// PReVer uses PBFT twice: as the standard BFT baseline the paper prescribes
+// for evaluation (experiment E4), and as the ordering service underneath
+// the permissioned blockchain (internal/chain) that provides integrity for
+// federated databases (Research Challenge 4).
+package pbft
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"prever/internal/netsim"
+)
+
+// Message type tags.
+const (
+	msgRequest    = "pbft/request"
+	msgPrePrepare = "pbft/preprepare"
+	msgPrepare    = "pbft/prepare"
+	msgCommit     = "pbft/commit"
+	msgCheckpoint = "pbft/checkpoint"
+	msgViewChange = "pbft/viewchange"
+	msgNewView    = "pbft/newview"
+)
+
+// Request is a client operation.
+type Request struct {
+	Client string `json:"client"`
+	Seq    uint64 `json:"seq"` // client-local sequence for dedup
+	Op     []byte `json:"op"`
+}
+
+// Digest identifies a request batch.
+type Digest [32]byte
+
+func digestOf(batch []Request) Digest {
+	h := sha256.New()
+	for _, r := range batch {
+		b, _ := json.Marshal(r)
+		var n [8]byte
+		for i := 0; i < 8; i++ {
+			n[i] = byte(len(b) >> (8 * i))
+		}
+		h.Write(n[:])
+		h.Write(b)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+type prePrepareMsg struct {
+	View   uint64    `json:"view"`
+	Seq    uint64    `json:"seq"`
+	Digest Digest    `json:"digest"`
+	Batch  []Request `json:"batch"`
+}
+
+type prepareMsg struct {
+	View    uint64 `json:"view"`
+	Seq     uint64 `json:"seq"`
+	Digest  Digest `json:"digest"`
+	Replica string `json:"replica"`
+}
+
+type commitMsg struct {
+	View    uint64 `json:"view"`
+	Seq     uint64 `json:"seq"`
+	Digest  Digest `json:"digest"`
+	Replica string `json:"replica"`
+}
+
+type checkpointMsg struct {
+	Seq     uint64 `json:"seq"`
+	State   Digest `json:"state"`
+	Replica string `json:"replica"`
+}
+
+// preparedEntry carries a prepared batch inside a view-change message so
+// the new primary can re-propose it.
+type preparedEntry struct {
+	Seq    uint64    `json:"seq"`
+	View   uint64    `json:"view"`
+	Digest Digest    `json:"digest"`
+	Batch  []Request `json:"batch"`
+}
+
+type viewChangeMsg struct {
+	NewView  uint64          `json:"newView"`
+	Stable   uint64          `json:"stable"`
+	Prepared []preparedEntry `json:"prepared,omitempty"`
+	Replica  string          `json:"replica"`
+}
+
+type newViewMsg struct {
+	View        uint64          `json:"view"`
+	PrePrepares []prePrepareMsg `json:"preprepares,omitempty"`
+	NextSeq     uint64          `json:"nextSeq"`
+}
+
+// envelope wraps every message with an HMAC tag keyed on the (sender,
+// receiver) pair, modelling PBFT's MAC-based authenticators.
+type envelope struct {
+	Body []byte `json:"body"`
+	Mac  []byte `json:"mac"`
+}
+
+// Applier is called once per executed batch, in sequence order.
+type Applier func(seq uint64, batch []Request)
+
+// Options tunes a replica.
+type Options struct {
+	BatchSize       int           // max requests per pre-prepare (default 1)
+	BatchDelay      time.Duration // how long the primary waits to fill a batch
+	CheckpointEvery uint64        // checkpoint period in sequences (default 128)
+	ViewTimeout     time.Duration // request execution timeout before view change (default 2s)
+	AuthKey         []byte        // cluster MAC master key (default fixed)
+}
+
+func (o *Options) withDefaults() {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 128
+	}
+	if o.ViewTimeout == 0 {
+		o.ViewTimeout = 2 * time.Second
+	}
+	if o.AuthKey == nil {
+		o.AuthKey = []byte("prever/pbft/default-cluster-key")
+	}
+}
+
+// instState tracks one (view, seq) consensus instance.
+type instState struct {
+	digest      Digest
+	batch       []Request
+	prePrepared bool
+	prepares    map[string]bool
+	commits     map[string]bool
+	committed   bool
+	executed    bool
+}
+
+// Replica is one PBFT node.
+type Replica struct {
+	id    string
+	index int
+	ids   []string // all replica ids in fixed order
+	f     int
+	net   *netsim.Network
+	apply Applier
+	opts  Options
+
+	mu        sync.Mutex
+	view      uint64
+	nextSeq   uint64 // primary: next sequence to assign
+	execSeq   uint64 // next sequence to execute
+	stable    uint64 // last stable checkpoint
+	insts     map[uint64]*instState
+	executedR map[string]bool // client:seq dedup of executed requests
+	waiters   map[Digest][]chan struct{}
+	pending   []Request // primary: batch under construction
+	batchTmr  *time.Timer
+	ckpts     map[uint64]map[string]bool
+	vcs       map[uint64]map[string]viewChangeMsg
+	inVC      bool
+	vcTimers  map[Digest]*time.Timer
+}
+
+// NewReplica creates and registers a PBFT replica. ids is the full ordered
+// replica list (len = 3f+1); id must appear in it.
+func NewReplica(net *netsim.Network, id string, ids []string, f int, apply Applier, opts Options) (*Replica, error) {
+	opts.withDefaults()
+	if len(ids) < 3*f+1 {
+		return nil, fmt.Errorf("pbft: need at least 3f+1=%d replicas, have %d", 3*f+1, len(ids))
+	}
+	index := -1
+	for i, x := range ids {
+		if x == id {
+			index = i
+		}
+	}
+	if index < 0 {
+		return nil, fmt.Errorf("pbft: id %q not in replica list", id)
+	}
+	r := &Replica{
+		id:        id,
+		index:     index,
+		ids:       append([]string(nil), ids...),
+		f:         f,
+		net:       net,
+		apply:     apply,
+		opts:      opts,
+		insts:     make(map[uint64]*instState),
+		executedR: make(map[string]bool),
+		waiters:   make(map[Digest][]chan struct{}),
+		ckpts:     make(map[uint64]map[string]bool),
+		vcs:       make(map[uint64]map[string]viewChangeMsg),
+		vcTimers:  make(map[Digest]*time.Timer),
+	}
+	if err := net.Register(id, r.handle); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ID returns the replica id.
+func (r *Replica) ID() string { return r.id }
+
+// View returns the current view number.
+func (r *Replica) View() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.view
+}
+
+// Primary reports the current primary's id.
+func (r *Replica) Primary() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.primaryLocked(r.view)
+}
+
+func (r *Replica) primaryLocked(view uint64) string {
+	return r.ids[int(view)%len(r.ids)]
+}
+
+// IsPrimary reports whether this replica is the current primary.
+func (r *Replica) IsPrimary() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.primaryLocked(r.view) == r.id
+}
+
+// Executed returns how many sequences this replica has executed.
+func (r *Replica) Executed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.execSeq
+}
+
+// quorum sizes.
+func (r *Replica) prepareQuorum() int { return 2 * r.f } // prepares from others + preprepare
+func (r *Replica) commitQuorum() int  { return 2*r.f + 1 }
+
+// --- authentication ---
+
+func (r *Replica) pairKey(a, b string) []byte {
+	if a > b {
+		a, b = b, a
+	}
+	mac := hmac.New(sha256.New, r.opts.AuthKey)
+	mac.Write([]byte(a))
+	mac.Write([]byte{0})
+	mac.Write([]byte(b))
+	return mac.Sum(nil)
+}
+
+func (r *Replica) seal(to string, body []byte) []byte {
+	mac := hmac.New(sha256.New, r.pairKey(r.id, to))
+	mac.Write(body)
+	env := envelope{Body: body, Mac: mac.Sum(nil)}
+	out, _ := json.Marshal(env)
+	return out
+}
+
+func (r *Replica) open(from string, payload []byte) ([]byte, bool) {
+	var env envelope
+	if json.Unmarshal(payload, &env) != nil {
+		return nil, false
+	}
+	mac := hmac.New(sha256.New, r.pairKey(from, r.id))
+	mac.Write(env.Body)
+	if !hmac.Equal(mac.Sum(nil), env.Mac) {
+		return nil, false
+	}
+	return env.Body, true
+}
+
+func (r *Replica) send(to, msgType string, v any) {
+	body, _ := json.Marshal(v)
+	r.net.Send(netsim.Message{From: r.id, To: to, Type: msgType, Payload: r.seal(to, body)})
+}
+
+func (r *Replica) broadcast(msgType string, v any) {
+	body, _ := json.Marshal(v)
+	for _, id := range r.ids {
+		if id == r.id {
+			continue
+		}
+		r.net.Send(netsim.Message{From: r.id, To: id, Type: msgType, Payload: r.seal(id, body)})
+	}
+}
+
+// --- client path ---
+
+// Submit proposes an operation and blocks until it executes locally or the
+// timeout elapses. On the primary it goes straight into a batch; on a
+// backup it is forwarded to the primary and guarded by a view-change
+// timer, so a dead primary is eventually replaced and the caller can
+// retry.
+func (r *Replica) Submit(client string, clientSeq uint64, op []byte, timeout time.Duration) error {
+	req := Request{Client: client, Seq: clientSeq, Op: op}
+	d := digestOf([]Request{req})
+	done := make(chan struct{})
+
+	r.mu.Lock()
+	if r.executedR[reqKey(req)] {
+		r.mu.Unlock()
+		return nil // duplicate of an executed request
+	}
+	r.waiters[d] = append(r.waiters[d], done)
+	isPrimary := r.primaryLocked(r.view) == r.id && !r.inVC
+	if isPrimary {
+		r.enqueueLocked(req)
+		r.mu.Unlock()
+	} else {
+		// Broadcast the request so every replica arms a view-change
+		// timer; the primary picks it up for ordering, and if the primary
+		// is dead, f+1 timers expire and a view change goes through.
+		r.armViewChangeTimerLocked(d)
+		r.mu.Unlock()
+		r.broadcast(msgRequest, req)
+	}
+
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return errors.New("pbft: request timed out")
+	}
+}
+
+func reqKey(req Request) string { return fmt.Sprintf("%s/%d", req.Client, req.Seq) }
+
+// armViewChangeTimerLocked starts a timer that triggers a view change if
+// the request does not execute in time.
+func (r *Replica) armViewChangeTimerLocked(d Digest) {
+	if _, ok := r.vcTimers[d]; ok {
+		return
+	}
+	r.vcTimers[d] = time.AfterFunc(r.opts.ViewTimeout, func() {
+		r.mu.Lock()
+		delete(r.vcTimers, d)
+		start := !r.inVC
+		view := r.view
+		r.mu.Unlock()
+		if start {
+			r.StartViewChange(view + 1)
+		}
+	})
+}
+
+// enqueueLocked adds a request to the primary's batch, flushing when full
+// or after the batch delay.
+func (r *Replica) enqueueLocked(req Request) {
+	r.pending = append(r.pending, req)
+	if len(r.pending) >= r.opts.BatchSize {
+		r.flushBatchLocked()
+		return
+	}
+	if r.opts.BatchDelay <= 0 {
+		r.flushBatchLocked()
+		return
+	}
+	if r.batchTmr == nil {
+		r.batchTmr = time.AfterFunc(r.opts.BatchDelay, func() {
+			r.mu.Lock()
+			r.batchTmr = nil
+			if len(r.pending) > 0 {
+				r.flushBatchLocked()
+			}
+			r.mu.Unlock()
+		})
+	}
+}
+
+// flushBatchLocked assigns the next sequence and runs pre-prepare.
+func (r *Replica) flushBatchLocked() {
+	batch := r.pending
+	r.pending = nil
+	if r.batchTmr != nil {
+		r.batchTmr.Stop()
+		r.batchTmr = nil
+	}
+	seq := r.nextSeq
+	r.nextSeq++
+	pp := prePrepareMsg{View: r.view, Seq: seq, Digest: digestOf(batch), Batch: batch}
+	inst := r.instLocked(seq)
+	inst.digest = pp.Digest
+	inst.batch = batch
+	inst.prePrepared = true
+	// Broadcast pre-prepare, then treat self as prepared.
+	view := r.view
+	r.mu.Unlock()
+	r.broadcast(msgPrePrepare, pp)
+	r.broadcast(msgPrepare, prepareMsg{View: view, Seq: seq, Digest: pp.Digest, Replica: r.id})
+	r.mu.Lock()
+	inst.prepares[r.id] = true
+	r.maybeCommitLocked(seq)
+}
+
+func (r *Replica) instLocked(seq uint64) *instState {
+	inst, ok := r.insts[seq]
+	if !ok {
+		inst = &instState{prepares: map[string]bool{}, commits: map[string]bool{}}
+		r.insts[seq] = inst
+	}
+	return inst
+}
+
+// --- message handling ---
+
+func (r *Replica) handle(m netsim.Message) {
+	body, ok := r.open(m.From, m.Payload)
+	if !ok {
+		return // bad MAC: discard (Byzantine sender or corruption)
+	}
+	switch m.Type {
+	case msgRequest:
+		var req Request
+		if json.Unmarshal(body, &req) != nil {
+			return
+		}
+		r.onRequest(req)
+	case msgPrePrepare:
+		var pp prePrepareMsg
+		if json.Unmarshal(body, &pp) != nil {
+			return
+		}
+		r.onPrePrepare(m.From, pp)
+	case msgPrepare:
+		var p prepareMsg
+		if json.Unmarshal(body, &p) != nil {
+			return
+		}
+		r.onPrepare(p)
+	case msgCommit:
+		var c commitMsg
+		if json.Unmarshal(body, &c) != nil {
+			return
+		}
+		r.onCommit(c)
+	case msgCheckpoint:
+		var c checkpointMsg
+		if json.Unmarshal(body, &c) != nil {
+			return
+		}
+		r.onCheckpoint(c)
+	case msgViewChange:
+		var vc viewChangeMsg
+		if json.Unmarshal(body, &vc) != nil {
+			return
+		}
+		r.onViewChange(vc)
+	case msgNewView:
+		var nv newViewMsg
+		if json.Unmarshal(body, &nv) != nil {
+			return
+		}
+		r.onNewView(m.From, nv)
+	}
+}
+
+func (r *Replica) onRequest(req Request) {
+	r.mu.Lock()
+	if r.executedR[reqKey(req)] || r.inVC {
+		r.mu.Unlock()
+		return
+	}
+	if r.primaryLocked(r.view) != r.id {
+		// Backup: watch the request so a dead primary triggers a view
+		// change from f+1 replicas, not just the submitting one.
+		r.armViewChangeTimerLocked(digestOf([]Request{req}))
+		r.mu.Unlock()
+		return
+	}
+	r.enqueueLocked(req)
+	r.mu.Unlock()
+}
+
+func (r *Replica) onPrePrepare(from string, pp prePrepareMsg) {
+	r.mu.Lock()
+	if pp.View != r.view || r.inVC {
+		r.mu.Unlock()
+		return
+	}
+	if from != r.primaryLocked(pp.View) {
+		r.mu.Unlock()
+		return // only the primary may pre-prepare
+	}
+	if digestOf(pp.Batch) != pp.Digest {
+		r.mu.Unlock()
+		return // digest mismatch: Byzantine primary
+	}
+	inst := r.instLocked(pp.Seq)
+	if inst.prePrepared && inst.digest != pp.Digest {
+		r.mu.Unlock()
+		return // conflicting pre-prepare for same (view, seq): equivocation
+	}
+	inst.prePrepared = true
+	inst.digest = pp.Digest
+	inst.batch = pp.Batch
+	if pp.Seq >= r.nextSeq {
+		r.nextSeq = pp.Seq + 1
+	}
+	view := r.view
+	r.mu.Unlock()
+	r.broadcast(msgPrepare, prepareMsg{View: view, Seq: pp.Seq, Digest: pp.Digest, Replica: r.id})
+	r.mu.Lock()
+	inst.prepares[r.id] = true
+	r.maybeCommitLocked(pp.Seq)
+	r.mu.Unlock()
+}
+
+func (r *Replica) onPrepare(p prepareMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p.View != r.view || r.inVC {
+		return
+	}
+	inst := r.instLocked(p.Seq)
+	if inst.prePrepared && inst.digest != p.Digest {
+		return
+	}
+	inst.prepares[p.Replica] = true
+	r.maybeCommitLocked(p.Seq)
+}
+
+// maybeCommitLocked sends a commit once the instance is "prepared":
+// pre-prepare plus 2f prepares (counting self).
+func (r *Replica) maybeCommitLocked(seq uint64) {
+	inst := r.instLocked(seq)
+	if !inst.prePrepared || inst.committed {
+		return
+	}
+	if len(inst.prepares) < r.prepareQuorum() {
+		return
+	}
+	inst.committed = true // locally "prepared"; send commit once
+	c := commitMsg{View: r.view, Seq: seq, Digest: inst.digest, Replica: r.id}
+	r.mu.Unlock()
+	r.broadcast(msgCommit, c)
+	r.mu.Lock()
+	inst.commits[r.id] = true
+	r.maybeExecuteLocked()
+}
+
+func (r *Replica) onCommit(c commitMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c.View != r.view || r.inVC {
+		return
+	}
+	inst := r.instLocked(c.Seq)
+	if inst.prePrepared && inst.digest != c.Digest {
+		return
+	}
+	inst.commits[c.Replica] = true
+	r.maybeExecuteLocked()
+}
+
+// maybeExecuteLocked executes committed instances in sequence order.
+func (r *Replica) maybeExecuteLocked() {
+	for {
+		inst, ok := r.insts[r.execSeq]
+		if !ok || inst.executed || !inst.prePrepared {
+			return
+		}
+		if len(inst.commits) < r.commitQuorum() {
+			return
+		}
+		inst.executed = true
+		seq := r.execSeq
+		r.execSeq++
+		batch := inst.batch
+		// Dedup and record executed requests; wake waiters.
+		var wake []chan struct{}
+		fresh := batch[:0:0]
+		for _, req := range batch {
+			if r.executedR[reqKey(req)] {
+				continue
+			}
+			r.executedR[reqKey(req)] = true
+			fresh = append(fresh, req)
+			d := digestOf([]Request{req})
+			wake = append(wake, r.waiters[d]...)
+			delete(r.waiters, d)
+			if tmr, ok := r.vcTimers[d]; ok {
+				tmr.Stop()
+				delete(r.vcTimers, d)
+			}
+		}
+		apply := r.apply
+		r.mu.Unlock()
+		if apply != nil && len(fresh) > 0 {
+			apply(seq, fresh)
+		}
+		for _, ch := range wake {
+			close(ch)
+		}
+		r.mu.Lock()
+		// Checkpointing.
+		if r.execSeq%r.opts.CheckpointEvery == 0 {
+			ck := checkpointMsg{Seq: r.execSeq, Replica: r.id}
+			r.mu.Unlock()
+			r.broadcast(msgCheckpoint, ck)
+			r.mu.Lock()
+			r.recordCheckpointLocked(ck)
+		}
+	}
+}
+
+func (r *Replica) onCheckpoint(c checkpointMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recordCheckpointLocked(c)
+}
+
+func (r *Replica) recordCheckpointLocked(c checkpointMsg) {
+	if c.Seq <= r.stable {
+		return
+	}
+	if r.ckpts[c.Seq] == nil {
+		r.ckpts[c.Seq] = map[string]bool{}
+	}
+	r.ckpts[c.Seq][c.Replica] = true
+	if len(r.ckpts[c.Seq]) >= r.commitQuorum() {
+		r.stable = c.Seq
+		// Garbage-collect instances below the stable checkpoint.
+		for seq := range r.insts {
+			if seq < r.stable {
+				delete(r.insts, seq)
+			}
+		}
+		for seq := range r.ckpts {
+			if seq <= r.stable {
+				delete(r.ckpts, seq)
+			}
+		}
+	}
+}
+
+// --- view change ---
+
+// StartViewChange broadcasts a view-change vote for the target view.
+func (r *Replica) StartViewChange(newView uint64) {
+	r.mu.Lock()
+	if newView <= r.view {
+		r.mu.Unlock()
+		return
+	}
+	r.inVC = true
+	vc := viewChangeMsg{
+		NewView:  newView,
+		Stable:   r.stable,
+		Prepared: r.preparedSetLocked(),
+		Replica:  r.id,
+	}
+	r.mu.Unlock()
+	r.broadcast(msgViewChange, vc)
+	r.onViewChange(vc) // count own vote
+}
+
+// preparedSetLocked collects prepared-but-unexecuted batches to hand to
+// the next primary.
+func (r *Replica) preparedSetLocked() []preparedEntry {
+	var out []preparedEntry
+	for seq, inst := range r.insts {
+		if inst.committed && !inst.executed && inst.prePrepared {
+			out = append(out, preparedEntry{Seq: seq, View: r.view, Digest: inst.digest, Batch: inst.batch})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+func (r *Replica) onViewChange(vc viewChangeMsg) {
+	r.mu.Lock()
+	if vc.NewView <= r.view {
+		r.mu.Unlock()
+		return
+	}
+	if r.vcs[vc.NewView] == nil {
+		r.vcs[vc.NewView] = map[string]viewChangeMsg{}
+	}
+	r.vcs[vc.NewView][vc.Replica] = vc
+	count := len(r.vcs[vc.NewView])
+	joinedAlready := r.inVC
+	iAmNewPrimary := r.primaryLocked(vc.NewView) == r.id
+	r.mu.Unlock()
+
+	// Join a view change once f+1 replicas vote for it (liveness rule).
+	if !joinedAlready && count >= r.f+1 {
+		r.StartViewChange(vc.NewView)
+	}
+	if !iAmNewPrimary {
+		return
+	}
+	r.mu.Lock()
+	if len(r.vcs[vc.NewView]) < r.commitQuorum() || r.view >= vc.NewView {
+		r.mu.Unlock()
+		return
+	}
+	// Become primary of the new view: re-propose the union of prepared
+	// batches under the new view.
+	adopt := map[uint64]preparedEntry{}
+	maxSeq := r.execSeq
+	for _, v := range r.vcs[vc.NewView] {
+		for _, pe := range v.Prepared {
+			cur, ok := adopt[pe.Seq]
+			if !ok || cur.View < pe.View {
+				adopt[pe.Seq] = pe
+			}
+			if pe.Seq+1 > maxSeq {
+				maxSeq = pe.Seq + 1
+			}
+		}
+	}
+	nv := newViewMsg{View: vc.NewView, NextSeq: maxSeq}
+	for _, pe := range adopt {
+		nv.PrePrepares = append(nv.PrePrepares, prePrepareMsg{View: vc.NewView, Seq: pe.Seq, Digest: pe.Digest, Batch: pe.Batch})
+	}
+	sort.Slice(nv.PrePrepares, func(i, j int) bool { return nv.PrePrepares[i].Seq < nv.PrePrepares[j].Seq })
+	r.enterViewLocked(vc.NewView, maxSeq)
+	r.mu.Unlock()
+	r.broadcast(msgNewView, nv)
+	// Process own re-proposals.
+	for _, pp := range nv.PrePrepares {
+		r.reproposeAsPrimary(pp)
+	}
+}
+
+// reproposeAsPrimary replays a prepared batch under the new view.
+func (r *Replica) reproposeAsPrimary(pp prePrepareMsg) {
+	r.mu.Lock()
+	inst := r.instLocked(pp.Seq)
+	if inst.executed {
+		r.mu.Unlock()
+		return
+	}
+	*inst = instState{prepares: map[string]bool{}, commits: map[string]bool{}}
+	inst.prePrepared = true
+	inst.digest = pp.Digest
+	inst.batch = pp.Batch
+	view := r.view
+	r.mu.Unlock()
+	r.broadcast(msgPrePrepare, pp)
+	r.broadcast(msgPrepare, prepareMsg{View: view, Seq: pp.Seq, Digest: pp.Digest, Replica: r.id})
+	r.mu.Lock()
+	inst.prepares[r.id] = true
+	r.maybeCommitLocked(pp.Seq)
+	r.mu.Unlock()
+}
+
+func (r *Replica) onNewView(from string, nv newViewMsg) {
+	r.mu.Lock()
+	if nv.View <= r.view || from != r.primaryLocked(nv.View) {
+		r.mu.Unlock()
+		return
+	}
+	r.enterViewLocked(nv.View, nv.NextSeq)
+	pps := nv.PrePrepares
+	r.mu.Unlock()
+	// Reset in-flight instances that were not executed, then process the
+	// new primary's re-proposals through the normal path.
+	for _, pp := range pps {
+		r.mu.Lock()
+		inst := r.instLocked(pp.Seq)
+		if !inst.executed {
+			*inst = instState{prepares: map[string]bool{}, commits: map[string]bool{}}
+		}
+		r.mu.Unlock()
+		r.onPrePrepare(from, pp)
+	}
+}
+
+// enterViewLocked switches the replica into a new view.
+func (r *Replica) enterViewLocked(view, nextSeq uint64) {
+	r.view = view
+	r.inVC = false
+	if nextSeq > r.nextSeq {
+		r.nextSeq = nextSeq
+	}
+	delete(r.vcs, view)
+	// Drop un-executed per-view votes; they are invalid in the new view.
+	for _, inst := range r.insts {
+		if !inst.executed {
+			inst.prepares = map[string]bool{}
+			inst.commits = map[string]bool{}
+			inst.committed = false
+			inst.prePrepared = false
+		}
+	}
+	r.pending = nil
+}

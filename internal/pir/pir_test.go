@@ -1,0 +1,189 @@
+package pir
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func fillDB(t testing.TB, n, blockSize int) *Database {
+	t.Helper()
+	db, err := NewDatabase(blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := db.Update(i, []byte(fmt.Sprintf("row-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(0); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	s, _ := NewServer(8)
+	if err := s.SetBlock(-1, nil); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := s.SetBlock(0, []byte("123456789")); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+	if _, err := s.Block(0); err == nil {
+		t.Fatal("read of absent block accepted")
+	}
+}
+
+func TestSetBlockGrowsAndPads(t *testing.T) {
+	s, _ := NewServer(8)
+	if err := s.SetBlock(3, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 4 {
+		t.Fatalf("size = %d, want 4", s.Size())
+	}
+	b, _ := s.Block(3)
+	want := append([]byte("x"), make([]byte, 7)...)
+	if !bytes.Equal(b, want) {
+		t.Fatalf("block = %q", b)
+	}
+	b2, _ := s.Block(0)
+	if !bytes.Equal(b2, make([]byte, 8)) {
+		t.Fatal("implicit blocks should be zero")
+	}
+}
+
+func TestPrivateReadAllIndices(t *testing.T) {
+	const n = 37 // deliberately not a multiple of 8
+	db := fillDB(t, n, 16)
+	for i := 0; i < n; i++ {
+		got, err := db.PrivateRead(i, nil)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		want := fmt.Sprintf("row-%04d", i)
+		if string(bytes.TrimRight(got, "\x00")) != want {
+			t.Fatalf("read %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestQueriesDifferOnlyAtTargetBit(t *testing.T) {
+	q, err := NewQuery(64, 17, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := 0
+	for i := 0; i < 64; i++ {
+		if bitSet(q.Q0, i) != bitSet(q.Q1, i) {
+			diffs++
+			if i != 17 {
+				t.Fatalf("queries differ at %d, not the target", i)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("queries differ in %d positions", diffs)
+	}
+}
+
+func TestQueryIsRandomized(t *testing.T) {
+	a, _ := NewQuery(128, 5, nil)
+	b, _ := NewQuery(128, 5, nil)
+	if bytes.Equal(a.Q0, b.Q0) {
+		t.Fatal("two queries for the same index are identical — servers could correlate")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	if _, err := NewQuery(10, 10, nil); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := NewQuery(10, -1, nil); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestAnswerValidatesQueryShape(t *testing.T) {
+	db := fillDB(t, 16, 8)
+	s0, _ := db.Servers()
+	if _, err := s0.Answer(make([]byte, 1)); err == nil {
+		t.Fatal("short query accepted")
+	}
+}
+
+func TestCombineValidatesLengths(t *testing.T) {
+	if _, err := Combine([]byte{1, 2}, []byte{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestUpdateVisibleToPrivateReads(t *testing.T) {
+	db := fillDB(t, 8, 16)
+	if err := db.Update(3, []byte("updated!")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.PrivateRead(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bytes.TrimRight(got, "\x00")) != "updated!" {
+		t.Fatalf("post-update read = %q", got)
+	}
+	if !db.Consistent() {
+		t.Fatal("replicas inconsistent after update")
+	}
+}
+
+func TestConsistencyDetectsDivergence(t *testing.T) {
+	db := fillDB(t, 4, 8)
+	s0, _ := db.Servers()
+	s0.SetBlock(2, []byte("tamper"))
+	if db.Consistent() {
+		t.Fatal("tampered replica not detected")
+	}
+}
+
+// Property: private reads return the correct block for random database
+// sizes and indices.
+func TestQuickPrivateRead(t *testing.T) {
+	db := fillDB(t, 100, 16)
+	f := func(raw uint16) bool {
+		i := int(raw) % 100
+		got, err := db.PrivateRead(i, nil)
+		if err != nil {
+			return false
+		}
+		return string(bytes.TrimRight(got, "\x00")) == fmt.Sprintf("row-%04d", i)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPrivateRead1k(b *testing.B)  { benchRead(b, 1024) }
+func BenchmarkPrivateRead16k(b *testing.B) { benchRead(b, 16*1024) }
+
+func benchRead(b *testing.B, n int) {
+	db := fillDB(b, n, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.PrivateRead(i%n, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdate16k(b *testing.B) {
+	db := fillDB(b, 16*1024, 64)
+	data := []byte("updated-row-data")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Update(i%(16*1024), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package separ
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"prever/internal/blind"
+)
+
+// Lower-bound regulations (paper footnote 4: "Separ also supports
+// lower-bound regulations"): a worker must complete AT LEAST L regulated
+// units per period (e.g. a minimum-engagement clause). Upper bounds are
+// enforced at issuance + double-spend time; lower bounds are settled at
+// period end:
+//
+//  1. When a platform accepts a task, it issues one signed WorkReceipt per
+//     spent token serial. Serials are pseudonymous, so a receipt proves
+//     "one accepted unit of work happened at this platform" without
+//     identifying the worker to anyone who later sees the receipt.
+//  2. At period end, the worker presents its receipts to the authority,
+//     which verifies each platform signature, deduplicates serials, and
+//     checks the count against the lower bound. The authority learns only
+//     the worker's total — exactly what the regulation is about — and not
+//     which platforms the units came from beyond the signature key used.
+//
+// This keeps the trust structure of Separ: platforms cannot forge work
+// they did not accept (receipts bind to serials recorded in the shared
+// spent store), and the worker cannot inflate the count (serials are
+// single-use and deduplicated).
+
+// WorkReceipt certifies one accepted regulated unit.
+type WorkReceipt struct {
+	Serial   string   `json:"serial"`   // the spent token's serial
+	Period   string   `json:"period"`   // regulation period
+	Platform string   `json:"platform"` // issuing platform
+	Sig      *big.Int `json:"sig"`      // platform RSA-FDH signature
+}
+
+func receiptMessage(serial, period, platform string) []byte {
+	return []byte("prever/separ/receipt/v1|" + serial + "|" + period + "|" + platform)
+}
+
+// receiptIssuer holds one platform's receipt-signing key.
+type receiptIssuer struct {
+	signer *blind.Signer
+	pub    blind.PublicKey
+}
+
+// LowerBoundSettlement is the authority-side verifier for lower-bound
+// regulations.
+type LowerBoundSettlement struct {
+	period string
+	min    int
+
+	mu           sync.Mutex
+	platformKeys map[string]blind.PublicKey
+	settled      map[string]int // worker -> verified units
+}
+
+// NewLowerBoundSettlement creates a settlement for a period: each worker
+// must present at least min valid receipts.
+func NewLowerBoundSettlement(period string, min int, platformKeys map[string]blind.PublicKey) *LowerBoundSettlement {
+	keys := make(map[string]blind.PublicKey, len(platformKeys))
+	for k, v := range platformKeys {
+		keys[k] = v
+	}
+	return &LowerBoundSettlement{
+		period:       period,
+		min:          min,
+		platformKeys: keys,
+		settled:      make(map[string]int),
+	}
+}
+
+// Settle verifies a worker's receipts and records the verified count.
+// Returns the count and whether the lower bound is met. Invalid or
+// duplicate receipts are skipped, not fatal (a malicious platform cannot
+// invalidate honest receipts).
+func (s *LowerBoundSettlement) Settle(worker string, receipts []WorkReceipt) (int, bool, error) {
+	if worker == "" {
+		return 0, false, fmt.Errorf("separ: empty worker")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool, len(receipts))
+	count := 0
+	for _, r := range receipts {
+		if r.Period != s.period || seen[r.Serial] {
+			continue
+		}
+		pub, ok := s.platformKeys[r.Platform]
+		if !ok {
+			continue
+		}
+		if blind.Verify(pub, receiptMessage(r.Serial, r.Period, r.Platform), r.Sig) != nil {
+			continue
+		}
+		seen[r.Serial] = true
+		count++
+	}
+	s.settled[worker] = count
+	return count, count >= s.min, nil
+}
+
+// Settled returns the verified unit count for a worker.
+func (s *LowerBoundSettlement) Settled(worker string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.settled[worker]
+	return n, ok
+}

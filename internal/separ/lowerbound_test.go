@@ -1,0 +1,112 @@
+package separ
+
+import (
+	"math/big"
+	"testing"
+	"time"
+)
+
+func TestLowerBoundSettlementHappyPath(t *testing.T) {
+	s := newSystem(t, false)
+	s.RegisterWorker("w1")
+	// 10 hours of accepted work → 10 receipts.
+	r, err := s.CompleteTask(event("t1", "w1", "uber", 6, start()))
+	if err != nil || !r.Accepted {
+		t.Fatalf("t1: %+v %v", r, err)
+	}
+	if len(r.Spent) != 6 {
+		t.Fatalf("spent serials = %d, want 6", len(r.Spent))
+	}
+	r, _ = s.CompleteTask(event("t2", "w1", "lyft", 4, start().Add(time.Hour)))
+	if !r.Accepted {
+		t.Fatal("t2 rejected")
+	}
+	receipts := s.WorkerReceipts("w1")
+	if len(receipts) != 10 {
+		t.Fatalf("receipts = %d, want 10", len(receipts))
+	}
+	// Settle a >= 8 lower bound: met.
+	settle := NewLowerBoundSettlement("2022-W13", 8, s.PlatformReceiptKeys())
+	count, ok, err := settle.Settle("w1", receipts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 || !ok {
+		t.Fatalf("settle = %d, met=%v", count, ok)
+	}
+	if n, found := settle.Settled("w1"); !found || n != 10 {
+		t.Fatalf("Settled = %d, %v", n, found)
+	}
+}
+
+func TestLowerBoundNotMet(t *testing.T) {
+	s := newSystem(t, false)
+	s.RegisterWorker("w1")
+	s.CompleteTask(event("t1", "w1", "uber", 3, start()))
+	settle := NewLowerBoundSettlement("2022-W13", 8, s.PlatformReceiptKeys())
+	count, ok, _ := settle.Settle("w1", s.WorkerReceipts("w1"))
+	if count != 3 || ok {
+		t.Fatalf("settle = %d, met=%v; want 3, false", count, ok)
+	}
+}
+
+func TestLowerBoundRejectsForgedReceipts(t *testing.T) {
+	s := newSystem(t, false)
+	s.RegisterWorker("w1")
+	s.CompleteTask(event("t1", "w1", "uber", 2, start()))
+	receipts := s.WorkerReceipts("w1")
+	// Forge extra receipts: bad signature, unknown platform, duplicate
+	// serial, wrong period.
+	forged := []WorkReceipt{
+		{Serial: "ffff", Period: "2022-W13", Platform: "uber", Sig: big.NewInt(7)},
+		{Serial: "eeee", Period: "2022-W13", Platform: "ghost", Sig: big.NewInt(7)},
+		{Serial: receipts[0].Serial, Period: "2022-W13", Platform: "uber", Sig: receipts[0].Sig},
+		{Serial: receipts[1].Serial, Period: "2022-W99", Platform: "uber", Sig: receipts[1].Sig},
+	}
+	settle := NewLowerBoundSettlement("2022-W13", 1, s.PlatformReceiptKeys())
+	count, _, err := settle.Settle("w1", append(receipts, forged...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("settle counted %d, want 2 (forgeries excluded)", count)
+	}
+}
+
+func TestLowerBoundReceiptNotTransferable(t *testing.T) {
+	// A receipt signed for platform A must not verify as platform B's.
+	s := newSystem(t, false)
+	s.RegisterWorker("w1")
+	s.CompleteTask(event("t1", "w1", "uber", 1, start()))
+	receipts := s.WorkerReceipts("w1")
+	receipts[0].Platform = "lyft"
+	settle := NewLowerBoundSettlement("2022-W13", 1, s.PlatformReceiptKeys())
+	count, _, _ := settle.Settle("w1", receipts)
+	if count != 0 {
+		t.Fatalf("relabelled receipt counted: %d", count)
+	}
+}
+
+func TestLowerBoundSettleValidation(t *testing.T) {
+	settle := NewLowerBoundSettlement("p", 1, nil)
+	if _, _, err := settle.Settle("", nil); err == nil {
+		t.Fatal("empty worker accepted")
+	}
+	if _, found := settle.Settled("nobody"); found {
+		t.Fatal("phantom settlement")
+	}
+}
+
+func TestRejectedTaskIssuesNoReceipts(t *testing.T) {
+	s := newSystem(t, false)
+	s.RegisterWorker("w1")
+	s.CompleteTask(event("t1", "w1", "uber", 40, start()))
+	before := len(s.WorkerReceipts("w1"))
+	r, _ := s.CompleteTask(event("t2", "w1", "lyft", 1, start().Add(time.Hour)))
+	if r.Accepted {
+		t.Fatal("over-budget accepted")
+	}
+	if len(s.WorkerReceipts("w1")) != before {
+		t.Fatal("rejected task produced receipts")
+	}
+}

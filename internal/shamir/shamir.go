@@ -1,0 +1,195 @@
+// Package shamir implements secret sharing over a prime field: Shamir
+// (t, n) threshold sharing with Lagrange reconstruction, and plain additive
+// n-of-n sharing. Both are substrates for PReVer's secure multi-party
+// computation path (Research Challenge 2): additive shares carry the linear
+// arithmetic of federated constraint checks, and Shamir shares provide
+// threshold robustness when some managers may go offline.
+package shamir
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// DefaultField is a 256-bit prime field modulus (2^256 - 189, the largest
+// 256-bit prime), large enough that realistic aggregates never wrap.
+var DefaultField = func() *big.Int {
+	p := new(big.Int).Lsh(big.NewInt(1), 256)
+	p.Sub(p, big.NewInt(189))
+	return p
+}()
+
+// Share is one participant's piece of a secret: an evaluation point X
+// (1-based party index) and value Y.
+type Share struct {
+	X int
+	Y *big.Int
+}
+
+// Split shares secret into n Shamir shares with reconstruction threshold t
+// (any t shares reconstruct; t-1 reveal nothing). The secret is reduced
+// into the field.
+func Split(secret *big.Int, n, t int, field *big.Int, rng io.Reader) ([]Share, error) {
+	if field == nil {
+		field = DefaultField
+	}
+	if t < 1 || n < t {
+		return nil, fmt.Errorf("shamir: invalid threshold %d of %d", t, n)
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	// Random polynomial of degree t-1 with constant term = secret.
+	coeffs := make([]*big.Int, t)
+	coeffs[0] = new(big.Int).Mod(secret, field)
+	for i := 1; i < t; i++ {
+		c, err := rand.Int(rng, field)
+		if err != nil {
+			return nil, err
+		}
+		coeffs[i] = c
+	}
+	shares := make([]Share, n)
+	for i := 1; i <= n; i++ {
+		x := big.NewInt(int64(i))
+		y := evalPoly(coeffs, x, field)
+		shares[i-1] = Share{X: i, Y: y}
+	}
+	return shares, nil
+}
+
+func evalPoly(coeffs []*big.Int, x, field *big.Int) *big.Int {
+	// Horner's rule.
+	y := new(big.Int)
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		y.Mul(y, x)
+		y.Add(y, coeffs[i])
+		y.Mod(y, field)
+	}
+	return y
+}
+
+// Reconstruct recovers the secret from at least t shares via Lagrange
+// interpolation at x = 0. Passing fewer than the original threshold of
+// shares yields an unrelated value (by design, not an error the code can
+// detect).
+func Reconstruct(shares []Share, field *big.Int) (*big.Int, error) {
+	if field == nil {
+		field = DefaultField
+	}
+	if len(shares) == 0 {
+		return nil, errors.New("shamir: no shares")
+	}
+	seen := make(map[int]bool, len(shares))
+	for _, s := range shares {
+		if s.X == 0 || s.Y == nil {
+			return nil, errors.New("shamir: malformed share")
+		}
+		if seen[s.X] {
+			return nil, fmt.Errorf("shamir: duplicate share index %d", s.X)
+		}
+		seen[s.X] = true
+	}
+	secret := new(big.Int)
+	for i, si := range shares {
+		num := big.NewInt(1)
+		den := big.NewInt(1)
+		xi := big.NewInt(int64(si.X))
+		for j, sj := range shares {
+			if i == j {
+				continue
+			}
+			xj := big.NewInt(int64(sj.X))
+			num.Mul(num, new(big.Int).Neg(xj))
+			num.Mod(num, field)
+			den.Mul(den, new(big.Int).Sub(xi, xj))
+			den.Mod(den, field)
+		}
+		denInv := new(big.Int).ModInverse(den, field)
+		if denInv == nil {
+			return nil, errors.New("shamir: non-invertible denominator")
+		}
+		li := num.Mul(num, denInv)
+		li.Mod(li, field)
+		term := new(big.Int).Mul(si.Y, li)
+		secret.Add(secret, term)
+		secret.Mod(secret, field)
+	}
+	return secret, nil
+}
+
+// SplitAdditive shares secret into n additive shares that sum to the
+// secret mod field. All n shares are required to reconstruct; any n-1 are
+// uniformly random.
+func SplitAdditive(secret *big.Int, n int, field *big.Int, rng io.Reader) ([]*big.Int, error) {
+	if field == nil {
+		field = DefaultField
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("shamir: invalid share count %d", n)
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	shares := make([]*big.Int, n)
+	sum := new(big.Int)
+	for i := 0; i < n-1; i++ {
+		s, err := rand.Int(rng, field)
+		if err != nil {
+			return nil, err
+		}
+		shares[i] = s
+		sum.Add(sum, s)
+	}
+	last := new(big.Int).Mod(secret, field)
+	last.Sub(last, sum)
+	last.Mod(last, field)
+	shares[n-1] = last
+	return shares, nil
+}
+
+// SumAdditive reconstructs an additively shared value.
+func SumAdditive(shares []*big.Int, field *big.Int) *big.Int {
+	if field == nil {
+		field = DefaultField
+	}
+	sum := new(big.Int)
+	for _, s := range shares {
+		sum.Add(sum, s)
+	}
+	return sum.Mod(sum, field)
+}
+
+// AddShares adds two additive share vectors elementwise: sharing of the
+// sum of the underlying secrets. Panics if lengths differ.
+func AddShares(a, b []*big.Int, field *big.Int) []*big.Int {
+	if field == nil {
+		field = DefaultField
+	}
+	if len(a) != len(b) {
+		panic("shamir: share vector length mismatch")
+	}
+	out := make([]*big.Int, len(a))
+	for i := range a {
+		s := new(big.Int).Add(a[i], b[i])
+		out[i] = s.Mod(s, field)
+	}
+	return out
+}
+
+// DecodeSigned interprets a field element as a signed integer: values
+// above field/2 are negative. Used after secure subtraction (e.g.
+// threshold - total) to recover the sign.
+func DecodeSigned(v, field *big.Int) *big.Int {
+	if field == nil {
+		field = DefaultField
+	}
+	half := new(big.Int).Rsh(field, 1)
+	if v.Cmp(half) > 0 {
+		return new(big.Int).Sub(v, field)
+	}
+	return new(big.Int).Set(v)
+}

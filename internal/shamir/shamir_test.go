@@ -1,0 +1,218 @@
+package shamir
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitReconstructExactThreshold(t *testing.T) {
+	secret := big.NewInt(123456789)
+	shares, err := Split(secret, 5, 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 5 {
+		t.Fatalf("share count = %d", len(shares))
+	}
+	got, err := Reconstruct(shares[:3], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Fatalf("reconstructed %v, want %v", got, secret)
+	}
+}
+
+func TestReconstructFromAnySubset(t *testing.T) {
+	secret := big.NewInt(42)
+	shares, _ := Split(secret, 5, 3, nil, nil)
+	subsets := [][]Share{
+		{shares[0], shares[2], shares[4]},
+		{shares[4], shares[3], shares[2]},
+		{shares[1], shares[0], shares[3]},
+		shares, // all 5
+	}
+	for i, sub := range subsets {
+		got, err := Reconstruct(sub, nil)
+		if err != nil || got.Cmp(secret) != 0 {
+			t.Fatalf("subset %d: got %v, %v", i, got, err)
+		}
+	}
+}
+
+func TestBelowThresholdRevealsNothingUseful(t *testing.T) {
+	secret := big.NewInt(42)
+	shares, _ := Split(secret, 5, 3, nil, nil)
+	got, err := Reconstruct(shares[:2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With overwhelming probability 2 shares of a degree-2 polynomial do
+	// NOT interpolate to the secret.
+	if got.Cmp(secret) == 0 {
+		t.Fatal("2 shares reconstructed a threshold-3 secret (astronomically unlikely)")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	if _, err := Split(big.NewInt(1), 2, 3, nil, nil); err == nil {
+		t.Fatal("n < t accepted")
+	}
+	if _, err := Split(big.NewInt(1), 3, 0, nil, nil); err == nil {
+		t.Fatal("t = 0 accepted")
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	if _, err := Reconstruct(nil, nil); err == nil {
+		t.Fatal("empty shares accepted")
+	}
+	shares, _ := Split(big.NewInt(5), 3, 2, nil, nil)
+	dup := []Share{shares[0], shares[0]}
+	if _, err := Reconstruct(dup, nil); err == nil {
+		t.Fatal("duplicate shares accepted")
+	}
+	bad := []Share{{X: 0, Y: big.NewInt(1)}}
+	if _, err := Reconstruct(bad, nil); err == nil {
+		t.Fatal("x=0 share accepted")
+	}
+	if _, err := Reconstruct([]Share{{X: 1, Y: nil}}, nil); err == nil {
+		t.Fatal("nil Y accepted")
+	}
+}
+
+func TestNegativeSecretViaSignedDecode(t *testing.T) {
+	secret := big.NewInt(-40)
+	shares, _ := Split(secret, 3, 2, nil, nil)
+	raw, err := Reconstruct(shares[:2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DecodeSigned(raw, nil).Cmp(secret) != 0 {
+		t.Fatalf("signed decode = %v, want -40", DecodeSigned(raw, nil))
+	}
+}
+
+func TestAdditiveSharing(t *testing.T) {
+	secret := big.NewInt(987654321)
+	shares, err := SplitAdditive(secret, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SumAdditive(shares, nil); got.Cmp(secret) != 0 {
+		t.Fatalf("additive reconstruct = %v", got)
+	}
+	// Any strict subset must not sum to the secret (w.h.p.).
+	if got := SumAdditive(shares[:3], nil); got.Cmp(secret) == 0 {
+		t.Fatal("partial additive sum equals the secret")
+	}
+}
+
+func TestAdditiveSingleParty(t *testing.T) {
+	shares, err := SplitAdditive(big.NewInt(7), 1, nil, nil)
+	if err != nil || len(shares) != 1 {
+		t.Fatal(err)
+	}
+	if shares[0].Cmp(big.NewInt(7)) != 0 {
+		t.Fatalf("single additive share = %v", shares[0])
+	}
+	if _, err := SplitAdditive(big.NewInt(7), 0, nil, nil); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestAddSharesIsLinear(t *testing.T) {
+	a := big.NewInt(100)
+	b := big.NewInt(23)
+	sa, _ := SplitAdditive(a, 3, nil, nil)
+	sb, _ := SplitAdditive(b, 3, nil, nil)
+	sum := AddShares(sa, sb, nil)
+	if got := SumAdditive(sum, nil); got.Cmp(big.NewInt(123)) != 0 {
+		t.Fatalf("share addition = %v", got)
+	}
+}
+
+func TestAddSharesPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	AddShares([]*big.Int{big.NewInt(1)}, []*big.Int{big.NewInt(1), big.NewInt(2)}, nil)
+}
+
+func TestCustomSmallField(t *testing.T) {
+	field := big.NewInt(101)
+	secret := big.NewInt(77)
+	shares, err := Split(secret, 4, 2, field, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Reconstruct(shares[1:3], field)
+	if err != nil || got.Cmp(secret) != 0 {
+		t.Fatalf("small field reconstruct = %v, %v", got, err)
+	}
+}
+
+// Property: Shamir round trips for random secrets, thresholds and subsets.
+func TestQuickShamirRoundTrip(t *testing.T) {
+	f := func(raw int64, rawT, rawN uint8) bool {
+		n := int(rawN)%6 + 1
+		tt := int(rawT)%n + 1
+		secret := big.NewInt(raw)
+		shares, err := Split(secret, n, tt, nil, nil)
+		if err != nil {
+			return false
+		}
+		got, err := Reconstruct(shares[:tt], nil)
+		if err != nil {
+			return false
+		}
+		want := new(big.Int).Mod(secret, DefaultField)
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: additive sharing of a sum equals sum of sharings.
+func TestQuickAdditiveLinearity(t *testing.T) {
+	f := func(a, b int32, rawN uint8) bool {
+		n := int(rawN)%5 + 1
+		sa, err := SplitAdditive(big.NewInt(int64(a)), n, nil, nil)
+		if err != nil {
+			return false
+		}
+		sb, err := SplitAdditive(big.NewInt(int64(b)), n, nil, nil)
+		if err != nil {
+			return false
+		}
+		got := DecodeSigned(SumAdditive(AddShares(sa, sb, nil), nil), nil)
+		return got.Int64() == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSplit5of3(b *testing.B) {
+	secret := big.NewInt(123456789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(secret, 5, 3, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct3(b *testing.B) {
+	shares, _ := Split(big.NewInt(123456789), 5, 3, nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(shares[:3], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

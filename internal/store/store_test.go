@@ -1,0 +1,402 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		s    string
+	}{
+		{Null(), KindNull, "NULL"},
+		{Int(42), KindInt, "42"},
+		{Float(2.5), KindFloat, "2.5"},
+		{String_("hi"), KindString, `"hi"`},
+		{Bool(true), KindBool, "true"},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("kind = %v, want %v", c.v.Kind, c.kind)
+		}
+		if c.v.String() != c.s {
+			t.Errorf("String() = %q, want %q", c.v.String(), c.s)
+		}
+	}
+	ts := time.Date(2022, 3, 29, 0, 0, 0, 0, time.UTC)
+	if Time(ts).String() != "2022-03-29T00:00:00Z" {
+		t.Errorf("time string = %q", Time(ts).String())
+	}
+}
+
+func TestValueNumericCrossKind(t *testing.T) {
+	if !Int(3).Equal(Float(3)) {
+		t.Error("Int(3) should equal Float(3)")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("Int(3) should not equal Float(3.5)")
+	}
+	c, err := Int(2).Compare(Float(2.5))
+	if err != nil || c != -1 {
+		t.Errorf("Compare(2, 2.5) = %d, %v", c, err)
+	}
+	if _, err := String_("a").Compare(Int(1)); err == nil {
+		t.Error("string vs int comparison should error")
+	}
+	if _, err := Null().Compare(Null()); err == nil {
+		t.Error("NULL comparison should error")
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if f, err := Int(7).AsFloat(); err != nil || f != 7 {
+		t.Errorf("AsFloat(Int 7) = %v, %v", f, err)
+	}
+	if i, err := Float(7).AsInt(); err != nil || i != 7 {
+		t.Errorf("AsInt(Float 7) = %v, %v", i, err)
+	}
+	if _, err := Float(7.5).AsInt(); err == nil {
+		t.Error("AsInt(7.5) should error")
+	}
+	if _, err := String_("x").AsFloat(); err == nil {
+		t.Error("AsFloat(string) should error")
+	}
+}
+
+func TestValueCompareOrderings(t *testing.T) {
+	if c, _ := String_("a").Compare(String_("b")); c != -1 {
+		t.Error("string order")
+	}
+	if c, _ := Bool(false).Compare(Bool(true)); c != -1 {
+		t.Error("bool order")
+	}
+	early := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	late := early.Add(time.Hour)
+	if c, _ := Time(early).Compare(Time(late)); c != -1 {
+		t.Error("time order")
+	}
+	if c, _ := Time(late).Compare(Time(early)); c != 1 {
+		t.Error("time reverse order")
+	}
+	if c, _ := Time(early).Compare(Time(early)); c != 0 {
+		t.Error("time equality")
+	}
+}
+
+func TestKVPutGetDelete(t *testing.T) {
+	kv := NewKV()
+	if _, err := kv.Get("a"); err != ErrNotFound {
+		t.Fatalf("get absent = %v, want ErrNotFound", err)
+	}
+	v1 := kv.Put("a", []byte("1"))
+	if v1 != 1 {
+		t.Fatalf("first version = %d", v1)
+	}
+	got, err := kv.Get("a")
+	if err != nil || string(got) != "1" {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	kv.Put("a", []byte("2"))
+	got, _ = kv.Get("a")
+	if string(got) != "2" {
+		t.Fatalf("after overwrite get = %q", got)
+	}
+	kv.Delete("a")
+	if _, err := kv.Get("a"); err != ErrNotFound {
+		t.Fatalf("get deleted = %v", err)
+	}
+}
+
+func TestKVTimeTravel(t *testing.T) {
+	kv := NewKV()
+	v1 := kv.Put("k", []byte("one"))
+	v2 := kv.Put("k", []byte("two"))
+	v3 := kv.Delete("k")
+	if got, _ := kv.GetAt("k", v1); string(got) != "one" {
+		t.Errorf("at v1 = %q", got)
+	}
+	if got, _ := kv.GetAt("k", v2); string(got) != "two" {
+		t.Errorf("at v2 = %q", got)
+	}
+	if _, err := kv.GetAt("k", v3); err != ErrNotFound {
+		t.Errorf("at v3 err = %v", err)
+	}
+	if _, err := kv.GetAt("k", 0); err != ErrNotFound {
+		t.Errorf("at v0 err = %v", err)
+	}
+}
+
+func TestKVSnapshotIsolation(t *testing.T) {
+	kv := NewKV()
+	kv.Put("x", []byte("old"))
+	snap := kv.Snapshot()
+	kv.Put("x", []byte("new"))
+	kv.Put("y", []byte("born-later"))
+	got, err := snap.Get("x")
+	if err != nil || string(got) != "old" {
+		t.Fatalf("snapshot read = %q, %v", got, err)
+	}
+	if _, err := snap.Get("y"); err != ErrNotFound {
+		t.Fatalf("snapshot should not see later key: %v", err)
+	}
+	keys := snap.Keys()
+	if len(keys) != 1 || keys[0] != "x" {
+		t.Fatalf("snapshot keys = %v", keys)
+	}
+}
+
+func TestKVValueCopied(t *testing.T) {
+	kv := NewKV()
+	buf := []byte("abc")
+	kv.Put("k", buf)
+	buf[0] = 'X'
+	got, _ := kv.Get("k")
+	if string(got) != "abc" {
+		t.Fatalf("stored value aliased caller buffer: %q", got)
+	}
+	got[0] = 'Y'
+	again, _ := kv.Get("k")
+	if string(again) != "abc" {
+		t.Fatalf("returned value aliased store: %q", again)
+	}
+}
+
+func TestKVRangeOrderAndEarlyStop(t *testing.T) {
+	kv := NewKV()
+	for _, k := range []string{"b", "a", "c"} {
+		kv.Put(k, []byte(k))
+	}
+	var seen []string
+	kv.Snapshot().Range(func(k string, v []byte) bool {
+		seen = append(seen, k)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != "a" || seen[1] != "b" {
+		t.Fatalf("range order/stop = %v", seen)
+	}
+}
+
+func TestKVCompact(t *testing.T) {
+	kv := NewKV()
+	kv.Put("a", []byte("1"))
+	kv.Put("a", []byte("2"))
+	kv.Put("b", []byte("x"))
+	kv.Delete("b")
+	dropped := kv.Compact()
+	if dropped != 3 { // a's old version, b's value, b's tombstone
+		t.Fatalf("compact dropped = %d, want 3", dropped)
+	}
+	if got, _ := kv.Get("a"); string(got) != "2" {
+		t.Fatalf("after compact a = %q", got)
+	}
+	if _, err := kv.Get("b"); err != ErrNotFound {
+		t.Fatalf("after compact b err = %v", err)
+	}
+	if kv.Len() != 1 {
+		t.Fatalf("after compact len = %d", kv.Len())
+	}
+}
+
+func TestKVConcurrentAccess(t *testing.T) {
+	kv := NewKV()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				kv.Put(key, []byte{byte(g), byte(i)})
+				_, _ = kv.Get(key)
+				_ = kv.Snapshot().Keys()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if kv.Version() != 800 {
+		t.Fatalf("version = %d, want 800", kv.Version())
+	}
+}
+
+// Property: GetAt(k, v) where v is the version returned by the j-th Put of
+// key k always yields the j-th value.
+func TestQuickKVHistory(t *testing.T) {
+	f := func(vals [][]byte) bool {
+		if len(vals) == 0 || len(vals) > 50 {
+			return true
+		}
+		kv := NewKV()
+		versions := make([]uint64, len(vals))
+		for i, v := range vals {
+			versions[i] = kv.Put("k", v)
+		}
+		for i, v := range vals {
+			got, err := kv.GetAt("k", versions[i])
+			if err != nil || string(got) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var testSchema = MustSchema(
+	Column{Name: "worker", Kind: KindString},
+	Column{Name: "hours", Kind: KindFloat},
+	Column{Name: "week", Kind: KindInt},
+)
+
+func TestSchemaValidation(t *testing.T) {
+	ok := Row{"worker": String_("w1"), "hours": Float(12), "week": Int(3)}
+	if err := testSchema.Validate(ok); err != nil {
+		t.Fatalf("valid row rejected: %v", err)
+	}
+	if err := testSchema.Validate(Row{"worker": String_("w1"), "hours": Float(12)}); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	bad := Row{"worker": String_("w1"), "hours": String_("12"), "week": Int(3)}
+	if err := testSchema.Validate(bad); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	extra := Row{"worker": String_("w1"), "hours": Float(1), "week": Int(3), "zzz": Int(1)}
+	if err := testSchema.Validate(extra); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	withNull := Row{"worker": Null(), "hours": Float(1), "week": Int(3)}
+	if err := testSchema.Validate(withNull); err != nil {
+		t.Fatalf("NULL should be allowed: %v", err)
+	}
+}
+
+func TestSchemaConstructionErrors(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "a", Kind: KindInt}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if _, err := NewSchema(Column{Name: "", Kind: KindInt}); err == nil {
+		t.Fatal("empty column name accepted")
+	}
+	if testSchema.ColumnIndex("hours") != 1 {
+		t.Fatalf("ColumnIndex(hours) = %d", testSchema.ColumnIndex("hours"))
+	}
+	if testSchema.ColumnIndex("nope") != -1 {
+		t.Fatal("ColumnIndex of unknown should be -1")
+	}
+}
+
+func TestTableCRUDAndVersioning(t *testing.T) {
+	tbl := NewTable("tasks", testSchema)
+	row := Row{"worker": String_("w1"), "hours": Float(5), "week": Int(1)}
+	v1, err := tbl.Upsert("t1", row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row["hours"] = Float(99) // mutate caller's row; table must hold a copy
+	got, err := tbl.Get("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["hours"].F != 5 {
+		t.Fatalf("table aliased caller row: hours = %v", got["hours"])
+	}
+	tbl.Upsert("t1", Row{"worker": String_("w1"), "hours": Float(8), "week": Int(1)})
+	old, err := tbl.GetAt("t1", v1)
+	if err != nil || old["hours"].F != 5 {
+		t.Fatalf("GetAt old version = %v, %v", old, err)
+	}
+	tbl.Delete("t1")
+	if _, err := tbl.Get("t1"); err != ErrNotFound {
+		t.Fatalf("deleted row get err = %v", err)
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("len after delete = %d", tbl.Len())
+	}
+}
+
+func TestTableRejectsBadRows(t *testing.T) {
+	tbl := NewTable("tasks", testSchema)
+	if _, err := tbl.Upsert("t1", Row{"worker": String_("w")}); err == nil {
+		t.Fatal("incomplete row accepted")
+	}
+	if tbl.Version() != 0 {
+		t.Fatal("failed upsert advanced the version")
+	}
+}
+
+func TestTableScanAndSelect(t *testing.T) {
+	tbl := NewTable("tasks", testSchema)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("t%d", i)
+		_, err := tbl.Upsert(key, Row{
+			"worker": String_(fmt.Sprintf("w%d", i%2)),
+			"hours":  Float(float64(i)),
+			"week":   Int(1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []string
+	tbl.Scan(func(k string, _ Row) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []string{"t0", "t1", "t2", "t3", "t4"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("scan order = %v", keys)
+		}
+	}
+	w0 := tbl.Select(func(r Row) bool { return r["worker"].S == "w0" })
+	if len(w0) != 3 {
+		t.Fatalf("select w0 = %d rows, want 3", len(w0))
+	}
+	all := tbl.Select(nil)
+	if len(all) != 5 {
+		t.Fatalf("select nil = %d rows, want 5", len(all))
+	}
+}
+
+func TestTableScanAtVersion(t *testing.T) {
+	tbl := NewTable("tasks", testSchema)
+	mk := func(h float64) Row {
+		return Row{"worker": String_("w"), "hours": Float(h), "week": Int(1)}
+	}
+	v1, _ := tbl.Upsert("a", mk(1))
+	tbl.Upsert("b", mk(2))
+	n := 0
+	tbl.ScanAt(v1, func(string, Row) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("ScanAt(v1) saw %d rows, want 1", n)
+	}
+}
+
+func BenchmarkKVPut(b *testing.B) {
+	kv := NewKV()
+	val := []byte("value-of-reasonable-length-for-a-row")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv.Put(fmt.Sprintf("key-%d", i%1024), val)
+	}
+}
+
+func BenchmarkKVGet(b *testing.B) {
+	kv := NewKV()
+	val := []byte("value-of-reasonable-length-for-a-row")
+	for i := 0; i < 1024; i++ {
+		kv.Put(fmt.Sprintf("key-%d", i), val)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kv.Get(fmt.Sprintf("key-%d", i%1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

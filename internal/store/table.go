@@ -1,0 +1,211 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Column describes one typed column of a table schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of typed columns.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema, validating that column names are unique and
+// non-empty.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("store: column %d has empty name", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("store: duplicate column %q", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for package-level fixtures.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColumnIndex returns the index of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Validate checks a row against the schema: every column present with a
+// matching kind (NULL is allowed in any column).
+func (s *Schema) Validate(row Row) error {
+	for _, c := range s.Columns {
+		v, ok := row[c.Name]
+		if !ok {
+			return fmt.Errorf("store: row missing column %q", c.Name)
+		}
+		if v.Kind != KindNull && v.Kind != c.Kind {
+			return fmt.Errorf("store: column %q expects %s, got %s", c.Name, c.Kind, v.Kind)
+		}
+	}
+	for name := range row {
+		if _, ok := s.byName[name]; !ok {
+			return fmt.Errorf("store: row has unknown column %q", name)
+		}
+	}
+	return nil
+}
+
+// Row maps column names to values.
+type Row map[string]Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Table is a schema-checked, primary-keyed collection of rows with version
+// history per row. Tables serve the constraint engine's scans and the
+// framework's apply step.
+type Table struct {
+	Name   string
+	Schema *Schema
+
+	mu      sync.RWMutex
+	version uint64
+	rows    map[string][]tableVersion // primary key -> version chain
+}
+
+type tableVersion struct {
+	version uint64
+	row     Row // nil means deleted
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{Name: name, Schema: schema, rows: make(map[string][]tableVersion)}
+}
+
+// Version returns the table's current version.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Upsert inserts or replaces the row under key after schema validation and
+// returns the new table version.
+func (t *Table) Upsert(key string, row Row) (uint64, error) {
+	if err := t.Schema.Validate(row); err != nil {
+		return 0, err
+	}
+	cp := row.Clone()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.version++
+	t.rows[key] = append(t.rows[key], tableVersion{version: t.version, row: cp})
+	return t.version, nil
+}
+
+// Delete removes the row under key, recording a tombstone.
+func (t *Table) Delete(key string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.version++
+	t.rows[key] = append(t.rows[key], tableVersion{version: t.version})
+	return t.version
+}
+
+// Get returns the latest row under key (a copy).
+func (t *Table) Get(key string) (Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.getAtLocked(key, t.version)
+}
+
+// GetAt returns the row under key as of a version.
+func (t *Table) GetAt(key string, version uint64) (Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.getAtLocked(key, version)
+}
+
+func (t *Table) getAtLocked(key string, version uint64) (Row, error) {
+	chain := t.rows[key]
+	i := sort.Search(len(chain), func(i int) bool { return chain[i].version > version })
+	if i == 0 || chain[i-1].row == nil {
+		return nil, ErrNotFound
+	}
+	return chain[i-1].row.Clone(), nil
+}
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, chain := range t.rows {
+		if chain[len(chain)-1].row != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Scan calls fn for every live row in primary-key order, stopping early if
+// fn returns false. The row passed to fn is a copy.
+func (t *Table) Scan(fn func(key string, row Row) bool) {
+	t.ScanAt(t.Version(), fn)
+}
+
+// ScanAt is Scan as of a fixed version.
+func (t *Table) ScanAt(version uint64, fn func(key string, row Row) bool) {
+	t.mu.RLock()
+	keys := make([]string, 0, len(t.rows))
+	for k := range t.rows {
+		keys = append(keys, k)
+	}
+	t.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		row, err := t.GetAt(k, version)
+		if err != nil {
+			continue
+		}
+		if !fn(k, row) {
+			return
+		}
+	}
+}
+
+// Select returns copies of all live rows matching pred (pred nil matches
+// everything), in key order.
+func (t *Table) Select(pred func(Row) bool) []Row {
+	var out []Row
+	t.Scan(func(_ string, row Row) bool {
+		if pred == nil || pred(row) {
+			out = append(out, row)
+		}
+		return true
+	})
+	return out
+}

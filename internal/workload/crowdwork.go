@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// TaskEvent is one completed crowdworking task: the update unit of the
+// Separ instantiation (Section 5 of the paper). It is the synthetic
+// substitute for production ride-sharing traces: what matters for the FLSA
+// regulation is only the (worker, platform, hours, timestamp) shape.
+type TaskEvent struct {
+	ID       string
+	Worker   string
+	Platform string
+	Hours    int64 // whole hours; the regulated unit
+	TS       time.Time
+}
+
+// CrowdworkConfig sizes the trace.
+type CrowdworkConfig struct {
+	Workers    int // default 100
+	Platforms  int // default 3
+	Start      time.Time
+	Span       time.Duration // default 1 week
+	MaxTaskHrs int           // default 8
+	// HotWorkers skews task assignment zipfian-style: a few workers do
+	// most tasks, which is what pushes some of them against the 40h cap.
+	HotWorkers bool
+	Seed       int64
+}
+
+// Crowdwork generates a multi-platform task-completion trace.
+type Crowdwork struct {
+	cfg  CrowdworkConfig
+	rng  *rand.Rand
+	zipf *Zipf
+	n    int
+}
+
+// NewCrowdwork builds a trace generator.
+func NewCrowdwork(cfg CrowdworkConfig) (*Crowdwork, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 100
+	}
+	if cfg.Platforms <= 0 {
+		cfg.Platforms = 3
+	}
+	if cfg.Span <= 0 {
+		cfg.Span = 7 * 24 * time.Hour
+	}
+	if cfg.MaxTaskHrs <= 0 {
+		cfg.MaxTaskHrs = 8
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2022, 3, 28, 0, 0, 0, 0, time.UTC)
+	}
+	c := &Crowdwork{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.HotWorkers {
+		z, err := NewZipf(uint64(cfg.Workers), 0.99, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		c.zipf = z
+	}
+	return c, nil
+}
+
+// WorkerID renders worker i's id.
+func WorkerID(i int) string { return fmt.Sprintf("worker-%04d", i) }
+
+// PlatformID renders platform i's id.
+func PlatformID(i int) string { return fmt.Sprintf("platform-%d", i) }
+
+// Next generates one task completion. Timestamps advance randomly within
+// the span (events are generated in time order).
+func (c *Crowdwork) Next() TaskEvent {
+	c.n++
+	var worker int
+	if c.zipf != nil {
+		worker = int(c.zipf.Next())
+	} else {
+		worker = c.rng.Intn(c.cfg.Workers)
+	}
+	offset := time.Duration(c.rng.Int63n(int64(c.cfg.Span)))
+	return TaskEvent{
+		ID:       fmt.Sprintf("task-%06d", c.n),
+		Worker:   WorkerID(worker),
+		Platform: PlatformID(c.rng.Intn(c.cfg.Platforms)),
+		Hours:    1 + c.rng.Int63n(int64(c.cfg.MaxTaskHrs)),
+		TS:       c.cfg.Start.Add(offset),
+	}
+}
+
+// Generate produces n task events sorted by timestamp.
+func (c *Crowdwork) Generate(n int) []TaskEvent {
+	events := make([]TaskEvent, n)
+	for i := range events {
+		events[i] = c.Next()
+	}
+	// Sort by timestamp so replay order is realistic.
+	sort.Slice(events, func(i, j int) bool { return events[i].TS.Before(events[j].TS) })
+	return events
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpType enumerates YCSB operation types.
+type OpType uint8
+
+// YCSB operation types.
+const (
+	OpRead OpType = iota + 1
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// String names the operation.
+func (o OpType) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpUpdate:
+		return "UPDATE"
+	case OpInsert:
+		return "INSERT"
+	case OpScan:
+		return "SCAN"
+	case OpReadModifyWrite:
+		return "RMW"
+	default:
+		return fmt.Sprintf("OpType(%d)", uint8(o))
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Type    OpType
+	Key     string
+	Value   []byte // for writes
+	ScanLen int    // for scans
+}
+
+// YCSBWorkload identifies a core workload.
+type YCSBWorkload string
+
+// The YCSB core workloads.
+const (
+	YCSBA YCSBWorkload = "A" // 50% read / 50% update, zipfian
+	YCSBB YCSBWorkload = "B" // 95% read / 5% update, zipfian
+	YCSBC YCSBWorkload = "C" // 100% read, zipfian
+	YCSBD YCSBWorkload = "D" // 95% read / 5% insert, latest
+	YCSBE YCSBWorkload = "E" // 95% scan / 5% insert, zipfian
+	YCSBF YCSBWorkload = "F" // 50% read / 50% read-modify-write, zipfian
+)
+
+// AllYCSB lists the six core workloads in order.
+var AllYCSB = []YCSBWorkload{YCSBA, YCSBB, YCSBC, YCSBD, YCSBE, YCSBF}
+
+// YCSBConfig sizes a generator.
+type YCSBConfig struct {
+	Workload    YCSBWorkload
+	RecordCount int // preloaded records
+	FieldLength int // value size in bytes (default 100)
+	MaxScanLen  int // E only (default 100)
+	Seed        int64
+}
+
+// YCSB generates a YCSB operation stream.
+type YCSB struct {
+	cfg      YCSBConfig
+	rng      *rand.Rand
+	zipf     *Zipf
+	inserted int // records inserted so far (for D's "latest" and inserts)
+}
+
+// NewYCSB builds a generator. Load the store with RecordCount records
+// (keys Key(0..RecordCount-1), values of FieldLength bytes) before
+// running.
+func NewYCSB(cfg YCSBConfig) (*YCSB, error) {
+	if cfg.RecordCount < 1 {
+		return nil, fmt.Errorf("workload: record count %d", cfg.RecordCount)
+	}
+	if cfg.FieldLength <= 0 {
+		cfg.FieldLength = 100
+	}
+	if cfg.MaxScanLen <= 0 {
+		cfg.MaxScanLen = 100
+	}
+	switch cfg.Workload {
+	case YCSBA, YCSBB, YCSBC, YCSBD, YCSBE, YCSBF:
+	default:
+		return nil, fmt.Errorf("workload: unknown YCSB workload %q", cfg.Workload)
+	}
+	z, err := NewZipf(uint64(cfg.RecordCount), 0.99, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &YCSB{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		zipf:     z,
+		inserted: cfg.RecordCount,
+	}, nil
+}
+
+// Key renders record i's key.
+func Key(i int) string { return fmt.Sprintf("user%010d", i) }
+
+// value produces a deterministic pseudo-random value.
+func (y *YCSB) value() []byte {
+	v := make([]byte, y.cfg.FieldLength)
+	y.rng.Read(v)
+	return v
+}
+
+// existingKey picks a key according to the workload's distribution.
+func (y *YCSB) existingKey() string {
+	if y.cfg.Workload == YCSBD {
+		// "Latest": zipfian over recency.
+		off := int(y.zipf.Next())
+		i := y.inserted - 1 - off
+		if i < 0 {
+			i = 0
+		}
+		return Key(i)
+	}
+	i := int(y.zipf.Next())
+	if i >= y.inserted {
+		i = y.inserted - 1
+	}
+	return Key(i)
+}
+
+// Next generates the next operation.
+func (y *YCSB) Next() Op {
+	p := y.rng.Float64()
+	switch y.cfg.Workload {
+	case YCSBA:
+		if p < 0.5 {
+			return Op{Type: OpRead, Key: y.existingKey()}
+		}
+		return Op{Type: OpUpdate, Key: y.existingKey(), Value: y.value()}
+	case YCSBB:
+		if p < 0.95 {
+			return Op{Type: OpRead, Key: y.existingKey()}
+		}
+		return Op{Type: OpUpdate, Key: y.existingKey(), Value: y.value()}
+	case YCSBC:
+		return Op{Type: OpRead, Key: y.existingKey()}
+	case YCSBD:
+		if p < 0.95 {
+			return Op{Type: OpRead, Key: y.existingKey()}
+		}
+		key := Key(y.inserted)
+		y.inserted++
+		return Op{Type: OpInsert, Key: key, Value: y.value()}
+	case YCSBE:
+		if p < 0.95 {
+			return Op{Type: OpScan, Key: y.existingKey(), ScanLen: 1 + y.rng.Intn(y.cfg.MaxScanLen)}
+		}
+		key := Key(y.inserted)
+		y.inserted++
+		return Op{Type: OpInsert, Key: key, Value: y.value()}
+	default: // YCSBF
+		if p < 0.5 {
+			return Op{Type: OpRead, Key: y.existingKey()}
+		}
+		return Op{Type: OpReadModifyWrite, Key: y.existingKey(), Value: y.value()}
+	}
+}
+
+// Generate produces n operations.
+func (y *YCSB) Generate(n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = y.Next()
+	}
+	return ops
+}

@@ -1,0 +1,92 @@
+// Package workload generates the benchmark workloads the paper prescribes
+// for evaluating PReVer instantiations: "comparisons should be performed
+// with respect to non-private solutions using standardized database
+// benchmarks like TPC and YCSB". It provides the YCSB core workloads A–F
+// with zipfian/uniform/latest request distributions, a TPC-C-like
+// transaction mix (New-Order / Payment), and a synthetic multi-platform
+// crowdworking trace for the Separ instantiation (the substitution for
+// production ride-sharing traces documented in DESIGN.md).
+//
+// All generators are deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf generates zipf-distributed integers in [0, n) with the classic
+// YCSB constant theta = 0.99 by default, using the Gray et al. algorithm
+// (the same one YCSB uses), which permits O(1) sampling after O(n) setup.
+type Zipf struct {
+	rng      *rand.Rand
+	n        uint64
+	theta    float64
+	zetaN    float64
+	zeta2    float64
+	alpha    float64
+	eta      float64
+	halfPowT float64
+}
+
+// NewZipf creates a zipfian generator over [0, n).
+func NewZipf(n uint64, theta float64, seed int64) (*Zipf, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("workload: zipf over empty domain")
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("workload: zipf theta must be in (0,1), got %v", theta)
+	}
+	z := &Zipf{
+		rng:   rand.New(rand.NewSource(seed)),
+		n:     n,
+		theta: theta,
+	}
+	z.zetaN = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetaN)
+	z.halfPowT = 1.0 + math.Pow(0.5, theta)
+	return z, nil
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next samples the next zipf value; 0 is the hottest key.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetaN
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < z.halfPowT {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Uniform generates uniform integers in [0, n).
+type Uniform struct {
+	rng *rand.Rand
+	n   uint64
+}
+
+// NewUniform creates a uniform generator over [0, n).
+func NewUniform(n uint64, seed int64) (*Uniform, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("workload: uniform over empty domain")
+	}
+	return &Uniform{rng: rand.New(rand.NewSource(seed)), n: n}, nil
+}
+
+// Next samples the next value.
+func (u *Uniform) Next() uint64 {
+	return uint64(u.rng.Int63n(int64(u.n)))
+}

@@ -1,0 +1,380 @@
+// Package zk implements non-interactive zero-knowledge proofs from
+// Σ-protocols compiled with the Fiat–Shamir transform. It is PReVer's
+// substitute for zk-SNARKs in Research Challenges 1 and 4: an untrusted
+// data manager (or a data owner submitting a private update) proves that a
+// hidden value satisfies a constraint — without revealing the value.
+//
+// Provided proofs, all over Pedersen commitments in a Schnorr group:
+//
+//   - ProveDlog / VerifyDlog: knowledge of x with y = base^x (Schnorr).
+//   - ProveOpening / VerifyOpening: knowledge of (m, r) opening C.
+//   - ProveEqual / VerifyEqual: two commitments hide the same message.
+//   - ProveBit / VerifyBit: a commitment hides 0 or 1 (CDS OR-composition).
+//   - ProveRange / VerifyRange: a commitment hides a value in [0, 2^n)
+//     (bit decomposition + per-bit proofs + homomorphic recomposition).
+//   - ProveBound / VerifyBound: a commitment hides a value in [0, B]
+//     (two range proofs: v >= 0 and B - v >= 0).
+//
+// All proofs are bound to a caller-supplied context string so a proof for
+// one update cannot be replayed for another.
+package zk
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"prever/internal/commit"
+	"prever/internal/group"
+)
+
+// ErrInvalidProof is returned whenever verification fails.
+var ErrInvalidProof = errors.New("zk: proof verification failed")
+
+// DlogProof is a Schnorr proof of knowledge of x such that y = base^x.
+type DlogProof struct {
+	A *big.Int // announcement base^k
+	Z *big.Int // response k + c·x mod q
+}
+
+// ProveDlog proves knowledge of x with y = base^x in g's order-q subgroup.
+func ProveDlog(g *group.Group, base, y, x *big.Int, ctx string, rng io.Reader) (DlogProof, error) {
+	k, err := g.RandScalar(rng)
+	if err != nil {
+		return DlogProof{}, err
+	}
+	a := g.Exp(base, k)
+	c := dlogChallenge(g, base, y, a, ctx)
+	z := new(big.Int).Mul(c, x)
+	z.Add(z, k)
+	z.Mod(z, g.Q)
+	return DlogProof{A: a, Z: z}, nil
+}
+
+// VerifyDlog checks a Schnorr proof.
+func VerifyDlog(g *group.Group, base, y *big.Int, p DlogProof, ctx string) error {
+	if p.A == nil || p.Z == nil || !g.Contains(p.A) {
+		return ErrInvalidProof
+	}
+	c := dlogChallenge(g, base, y, p.A, ctx)
+	lhs := g.Exp(base, p.Z)
+	rhs := g.Mul(p.A, g.Exp(y, c))
+	if lhs.Cmp(rhs) != 0 {
+		return ErrInvalidProof
+	}
+	return nil
+}
+
+func dlogChallenge(g *group.Group, base, y, a *big.Int, ctx string) *big.Int {
+	return g.HashToScalar("zk/dlog", []byte(ctx), base.Bytes(), y.Bytes(), a.Bytes())
+}
+
+// OpeningProof proves knowledge of (m, r) with C = g^m h^r.
+type OpeningProof struct {
+	A  *big.Int // announcement g^k1 h^k2
+	Z1 *big.Int // k1 + c·m
+	Z2 *big.Int // k2 + c·r
+}
+
+// ProveOpening proves knowledge of the opening of c.
+func ProveOpening(p *commit.Params, c commit.Commitment, o commit.Opening, ctx string, rng io.Reader) (OpeningProof, error) {
+	g := p.Group
+	k1, err := g.RandScalar(rng)
+	if err != nil {
+		return OpeningProof{}, err
+	}
+	k2, err := g.RandScalar(rng)
+	if err != nil {
+		return OpeningProof{}, err
+	}
+	a := g.Mul(p.ExpG(k1), p.ExpH(k2))
+	ch := openingChallenge(p, c, a, ctx)
+	z1 := new(big.Int).Mul(ch, o.M)
+	z1.Add(z1, k1)
+	z1.Mod(z1, g.Q)
+	z2 := new(big.Int).Mul(ch, o.R)
+	z2.Add(z2, k2)
+	z2.Mod(z2, g.Q)
+	return OpeningProof{A: a, Z1: z1, Z2: z2}, nil
+}
+
+// VerifyOpening checks an opening-knowledge proof.
+func VerifyOpening(p *commit.Params, c commit.Commitment, pr OpeningProof, ctx string) error {
+	g := p.Group
+	if pr.A == nil || pr.Z1 == nil || pr.Z2 == nil || !g.Contains(pr.A) {
+		return ErrInvalidProof
+	}
+	ch := openingChallenge(p, c, pr.A, ctx)
+	lhs := g.Mul(p.ExpG(pr.Z1), p.ExpH(pr.Z2))
+	rhs := g.Mul(pr.A, g.Exp(c.C, ch))
+	if lhs.Cmp(rhs) != 0 {
+		return ErrInvalidProof
+	}
+	return nil
+}
+
+func openingChallenge(p *commit.Params, c commit.Commitment, a *big.Int, ctx string) *big.Int {
+	return p.Group.HashToScalar("zk/opening", []byte(ctx), p.G.Bytes(), p.H.Bytes(), c.C.Bytes(), a.Bytes())
+}
+
+// EqualProof proves two commitments hide the same message: it is a Schnorr
+// proof of knowledge of log_h(C1/C2) = r1 - r2, which exists exactly when
+// the g-exponents agree.
+type EqualProof struct {
+	Proof DlogProof
+}
+
+// ProveEqual proves c1 and c2 commit to the same message, given both
+// openings.
+func ProveEqual(p *commit.Params, c1, c2 commit.Commitment, o1, o2 commit.Opening, ctx string, rng io.Reader) (EqualProof, error) {
+	mm1 := new(big.Int).Mod(o1.M, p.Group.Q)
+	mm2 := new(big.Int).Mod(o2.M, p.Group.Q)
+	if mm1.Cmp(mm2) != 0 {
+		return EqualProof{}, errors.New("zk: messages differ; refusing to prove a false statement")
+	}
+	y := p.Group.Div(c1.C, c2.C)
+	x := new(big.Int).Sub(o1.R, o2.R)
+	x.Mod(x, p.Group.Q)
+	pr, err := ProveDlog(p.Group, p.H, y, x, "equal/"+ctx, rng)
+	if err != nil {
+		return EqualProof{}, err
+	}
+	return EqualProof{Proof: pr}, nil
+}
+
+// VerifyEqual checks an equality proof.
+func VerifyEqual(p *commit.Params, c1, c2 commit.Commitment, pr EqualProof, ctx string) error {
+	y := p.Group.Div(c1.C, c2.C)
+	return VerifyDlog(p.Group, p.H, y, pr.Proof, "equal/"+ctx)
+}
+
+// BitProof proves a commitment hides 0 or 1 via a CDS OR-composition of
+// two Schnorr proofs: C = h^r (bit 0) OR C/g = h^r (bit 1).
+type BitProof struct {
+	A0, A1 *big.Int // per-branch announcements
+	C0, C1 *big.Int // per-branch challenges (sum to the global challenge)
+	Z0, Z1 *big.Int // per-branch responses
+}
+
+// ProveBit proves c hides a bit, given its opening.
+func ProveBit(p *commit.Params, c commit.Commitment, o commit.Opening, ctx string, rng io.Reader) (BitProof, error) {
+	g := p.Group
+	bit := o.M.Sign()
+	if !o.M.IsInt64() || (o.M.Int64() != 0 && o.M.Int64() != 1) {
+		return BitProof{}, fmt.Errorf("zk: message %v is not a bit", o.M)
+	}
+	y0 := new(big.Int).Set(c.C)       // statement for bit 0: y0 = h^r
+	y1 := g.Div(c.C, p.G)             // statement for bit 1: y1 = h^r
+	var proof BitProof
+	// Simulate the false branch, run the real protocol on the true branch.
+	simC, err := g.RandScalar(rng)
+	if err != nil {
+		return BitProof{}, err
+	}
+	simZ, err := g.RandScalar(rng)
+	if err != nil {
+		return BitProof{}, err
+	}
+	k, err := g.RandScalar(rng)
+	if err != nil {
+		return BitProof{}, err
+	}
+	if bit == 0 {
+		// Real branch 0, simulated branch 1: A1 = h^z1 · y1^{-c1}.
+		proof.A0 = p.ExpH(k)
+		proof.C1, proof.Z1 = simC, simZ
+		proof.A1 = g.Mul(p.ExpH(simZ), g.Exp(y1, new(big.Int).Neg(simC)))
+	} else {
+		proof.A1 = p.ExpH(k)
+		proof.C0, proof.Z0 = simC, simZ
+		proof.A0 = g.Mul(p.ExpH(simZ), g.Exp(y0, new(big.Int).Neg(simC)))
+	}
+	ch := bitChallenge(p, c, proof.A0, proof.A1, ctx)
+	real := new(big.Int).Sub(ch, simC)
+	real.Mod(real, g.Q)
+	z := new(big.Int).Mul(real, o.R)
+	z.Add(z, k)
+	z.Mod(z, g.Q)
+	if bit == 0 {
+		proof.C0, proof.Z0 = real, z
+	} else {
+		proof.C1, proof.Z1 = real, z
+	}
+	return proof, nil
+}
+
+// VerifyBit checks a bit proof.
+func VerifyBit(p *commit.Params, c commit.Commitment, pr BitProof, ctx string) error {
+	g := p.Group
+	for _, v := range []*big.Int{pr.A0, pr.A1, pr.C0, pr.C1, pr.Z0, pr.Z1} {
+		if v == nil {
+			return ErrInvalidProof
+		}
+	}
+	ch := bitChallenge(p, c, pr.A0, pr.A1, ctx)
+	sum := new(big.Int).Add(pr.C0, pr.C1)
+	sum.Mod(sum, g.Q)
+	if sum.Cmp(ch) != 0 {
+		return ErrInvalidProof
+	}
+	y0 := new(big.Int).Set(c.C)
+	y1 := g.Div(c.C, p.G)
+	// h^z0 == A0 · y0^c0
+	lhs0 := p.ExpH(pr.Z0)
+	rhs0 := g.Mul(pr.A0, g.Exp(y0, pr.C0))
+	if lhs0.Cmp(rhs0) != 0 {
+		return ErrInvalidProof
+	}
+	lhs1 := p.ExpH(pr.Z1)
+	rhs1 := g.Mul(pr.A1, g.Exp(y1, pr.C1))
+	if lhs1.Cmp(rhs1) != 0 {
+		return ErrInvalidProof
+	}
+	return nil
+}
+
+func bitChallenge(p *commit.Params, c commit.Commitment, a0, a1 *big.Int, ctx string) *big.Int {
+	return p.Group.HashToScalar("zk/bit", []byte(ctx), c.C.Bytes(), a0.Bytes(), a1.Bytes())
+}
+
+// RangeProof proves a commitment hides a value in [0, 2^n).
+type RangeProof struct {
+	Bits      []commit.Commitment // commitments to each bit, LSB first
+	BitProofs []BitProof
+}
+
+// NBits returns the bit width the proof covers.
+func (r RangeProof) NBits() int { return len(r.Bits) }
+
+// ProveRange proves that c (with opening o) hides a value in [0, 2^n). The
+// prover decomposes the message into bits, commits to each with randomness
+// chosen so the weighted product of bit commitments equals c exactly, and
+// proves each commitment is a bit.
+func ProveRange(p *commit.Params, c commit.Commitment, o commit.Opening, nBits int, ctx string, rng io.Reader) (RangeProof, error) {
+	g := p.Group
+	if nBits < 1 || nBits > 128 {
+		return RangeProof{}, fmt.Errorf("zk: unsupported range width %d", nBits)
+	}
+	m := o.M
+	if m.Sign() < 0 || m.BitLen() > nBits {
+		return RangeProof{}, fmt.Errorf("zk: value out of [0, 2^%d); refusing to prove a false statement", nBits)
+	}
+	proof := RangeProof{
+		Bits:      make([]commit.Commitment, nBits),
+		BitProofs: make([]BitProof, nBits),
+	}
+	// Choose randomness r_i for bits 1..n-1 freely, then solve for r_0 so
+	// that sum(2^i · r_i) == o.R (mod q): the weighted product of bit
+	// commitments then equals c with no extra terms.
+	rs := make([]*big.Int, nBits)
+	acc := new(big.Int)
+	for i := 1; i < nBits; i++ {
+		ri, err := g.RandScalar(rng)
+		if err != nil {
+			return RangeProof{}, err
+		}
+		rs[i] = ri
+		weighted := new(big.Int).Lsh(ri, uint(i))
+		acc.Add(acc, weighted)
+	}
+	r0 := new(big.Int).Sub(o.R, acc)
+	r0.Mod(r0, g.Q)
+	rs[0] = r0
+	for i := 0; i < nBits; i++ {
+		bit := big.NewInt(int64(m.Bit(i)))
+		ci := p.CommitWith(bit, rs[i])
+		proof.Bits[i] = ci
+		bp, err := ProveBit(p, ci, commit.Opening{M: bit, R: rs[i]}, fmt.Sprintf("%s/bit%d", ctx, i), rng)
+		if err != nil {
+			return RangeProof{}, err
+		}
+		proof.BitProofs[i] = bp
+	}
+	return proof, nil
+}
+
+// VerifyRange checks that c hides a value in [0, 2^nBits).
+func VerifyRange(p *commit.Params, c commit.Commitment, nBits int, pr RangeProof, ctx string) error {
+	g := p.Group
+	if len(pr.Bits) != nBits || len(pr.BitProofs) != nBits || nBits < 1 {
+		return ErrInvalidProof
+	}
+	// Each bit commitment must be well-formed and prove to a bit.
+	recomposed := big.NewInt(1)
+	for i := 0; i < nBits; i++ {
+		ci := pr.Bits[i]
+		if ci.C == nil || !g.Contains(ci.C) {
+			return ErrInvalidProof
+		}
+		if err := VerifyBit(p, ci, pr.BitProofs[i], fmt.Sprintf("%s/bit%d", ctx, i)); err != nil {
+			return ErrInvalidProof
+		}
+		weight := new(big.Int).Lsh(big.NewInt(1), uint(i))
+		recomposed = g.Mul(recomposed, g.Exp(ci.C, weight))
+	}
+	// The weighted product must equal the target commitment exactly.
+	if recomposed.Cmp(c.C) != 0 {
+		return ErrInvalidProof
+	}
+	return nil
+}
+
+// BoundProof proves a commitment hides a value v with 0 <= v <= B for a
+// public bound B: a range proof on v and a range proof on B - v (whose
+// commitment anyone derives homomorphically from c and B).
+type BoundProof struct {
+	NBits int
+	Low   RangeProof // v in [0, 2^n)
+	High  RangeProof // B - v in [0, 2^n)
+}
+
+// boundWidth returns the bit width needed to cover [0, B].
+func boundWidth(b *big.Int) int {
+	n := b.BitLen()
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// ProveBound proves 0 <= v <= B for the value committed in c.
+func ProveBound(p *commit.Params, c commit.Commitment, o commit.Opening, bound *big.Int, ctx string, rng io.Reader) (BoundProof, error) {
+	if bound.Sign() < 0 {
+		return BoundProof{}, errors.New("zk: negative bound")
+	}
+	if o.M.Sign() < 0 || o.M.Cmp(bound) > 0 {
+		return BoundProof{}, errors.New("zk: value violates bound; refusing to prove a false statement")
+	}
+	n := boundWidth(bound)
+	low, err := ProveRange(p, c, o, n, ctx+"/low", rng)
+	if err != nil {
+		return BoundProof{}, err
+	}
+	// Commitment to B - v: CommitPublic(B) / c, opening (B - m, -r).
+	cHigh := p.Sub(p.CommitPublic(bound), c)
+	oHigh := commit.Opening{
+		M: new(big.Int).Sub(bound, o.M),
+		R: new(big.Int).Mod(new(big.Int).Neg(o.R), p.Group.Q),
+	}
+	high, err := ProveRange(p, cHigh, oHigh, n, ctx+"/high", rng)
+	if err != nil {
+		return BoundProof{}, err
+	}
+	return BoundProof{NBits: n, Low: low, High: high}, nil
+}
+
+// VerifyBound checks that c hides a value in [0, bound].
+func VerifyBound(p *commit.Params, c commit.Commitment, bound *big.Int, pr BoundProof, ctx string) error {
+	if bound.Sign() < 0 || pr.NBits != boundWidth(bound) {
+		return ErrInvalidProof
+	}
+	if err := VerifyRange(p, c, pr.NBits, pr.Low, ctx+"/low"); err != nil {
+		return ErrInvalidProof
+	}
+	cHigh := p.Sub(p.CommitPublic(bound), c)
+	if err := VerifyRange(p, cHigh, pr.NBits, pr.High, ctx+"/high"); err != nil {
+		return ErrInvalidProof
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package zk
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"prever/internal/commit"
+	"prever/internal/group"
+)
+
+func params() *commit.Params { return commit.NewParams(group.TestGroup()) }
+
+func TestDlogRoundTrip(t *testing.T) {
+	g := group.TestGroup()
+	x, _ := g.RandScalar(nil)
+	y := g.ExpG(x)
+	p, err := ProveDlog(g, g.G, y, x, "ctx", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDlog(g, g.G, y, p, "ctx"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDlogRejectsWrongStatement(t *testing.T) {
+	g := group.TestGroup()
+	x, _ := g.RandScalar(nil)
+	y := g.ExpG(x)
+	p, _ := ProveDlog(g, g.G, y, x, "ctx", nil)
+	other := g.Mul(y, g.G)
+	if VerifyDlog(g, g.G, other, p, "ctx") == nil {
+		t.Fatal("proof verified for a different y")
+	}
+}
+
+func TestDlogContextBinding(t *testing.T) {
+	g := group.TestGroup()
+	x, _ := g.RandScalar(nil)
+	y := g.ExpG(x)
+	p, _ := ProveDlog(g, g.G, y, x, "update-1", nil)
+	if VerifyDlog(g, g.G, y, p, "update-2") == nil {
+		t.Fatal("proof replayed under a different context")
+	}
+}
+
+func TestDlogRejectsMalformed(t *testing.T) {
+	g := group.TestGroup()
+	x, _ := g.RandScalar(nil)
+	y := g.ExpG(x)
+	if VerifyDlog(g, g.G, y, DlogProof{}, "ctx") == nil {
+		t.Fatal("empty proof verified")
+	}
+	p, _ := ProveDlog(g, g.G, y, x, "ctx", nil)
+	p.Z = new(big.Int).Add(p.Z, big.NewInt(1))
+	if VerifyDlog(g, g.G, y, p, "ctx") == nil {
+		t.Fatal("tampered response verified")
+	}
+}
+
+func TestOpeningRoundTrip(t *testing.T) {
+	p := params()
+	c, o, _ := p.CommitInt(123, nil)
+	pr, err := ProveOpening(p, c, o, "ctx", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyOpening(p, c, pr, "ctx"); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong commitment must fail.
+	c2, _, _ := p.CommitInt(123, nil)
+	if VerifyOpening(p, c2, pr, "ctx") == nil {
+		t.Fatal("opening proof transferred to another commitment")
+	}
+	if VerifyOpening(p, c, pr, "other") == nil {
+		t.Fatal("opening proof replayed under another context")
+	}
+}
+
+func TestEqualRoundTrip(t *testing.T) {
+	p := params()
+	c1, o1, _ := p.CommitInt(77, nil)
+	c2, o2, _ := p.CommitInt(77, nil)
+	pr, err := ProveEqual(p, c1, c2, o1, o2, "ctx", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEqual(p, c1, c2, pr, "ctx"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualRefusesFalseStatement(t *testing.T) {
+	p := params()
+	c1, o1, _ := p.CommitInt(77, nil)
+	c2, o2, _ := p.CommitInt(78, nil)
+	if _, err := ProveEqual(p, c1, c2, o1, o2, "ctx", nil); err == nil {
+		t.Fatal("prover produced a proof for unequal messages")
+	}
+}
+
+func TestEqualRejectsUnequal(t *testing.T) {
+	p := params()
+	c1, o1, _ := p.CommitInt(77, nil)
+	c2a, o2a, _ := p.CommitInt(77, nil)
+	c3, _, _ := p.CommitInt(78, nil)
+	pr, _ := ProveEqual(p, c1, c2a, o1, o2a, "ctx", nil)
+	if VerifyEqual(p, c1, c3, pr, "ctx") == nil {
+		t.Fatal("equality proof verified against a different pair")
+	}
+}
+
+func TestBitRoundTrip(t *testing.T) {
+	p := params()
+	for _, b := range []int64{0, 1} {
+		c, o, _ := p.CommitInt(b, nil)
+		pr, err := ProveBit(p, c, o, "ctx", nil)
+		if err != nil {
+			t.Fatalf("prove bit %d: %v", b, err)
+		}
+		if err := VerifyBit(p, c, pr, "ctx"); err != nil {
+			t.Fatalf("verify bit %d: %v", b, err)
+		}
+	}
+}
+
+func TestBitRefusesNonBit(t *testing.T) {
+	p := params()
+	c, o, _ := p.CommitInt(2, nil)
+	if _, err := ProveBit(p, c, o, "ctx", nil); err == nil {
+		t.Fatal("prover produced a bit proof for 2")
+	}
+}
+
+func TestBitRejectsTamper(t *testing.T) {
+	p := params()
+	c, o, _ := p.CommitInt(1, nil)
+	pr, _ := ProveBit(p, c, o, "ctx", nil)
+	pr.Z0 = new(big.Int).Add(pr.Z0, big.NewInt(1))
+	if VerifyBit(p, c, pr, "ctx") == nil {
+		t.Fatal("tampered bit proof verified")
+	}
+	// Challenge-split tampering must also fail.
+	pr2, _ := ProveBit(p, c, o, "ctx", nil)
+	pr2.C0 = new(big.Int).Add(pr2.C0, big.NewInt(1))
+	if VerifyBit(p, c, pr2, "ctx") == nil {
+		t.Fatal("challenge-tampered bit proof verified")
+	}
+}
+
+func TestBitProofDoesNotTransferToOtherCommitment(t *testing.T) {
+	p := params()
+	c1, o1, _ := p.CommitInt(1, nil)
+	c2, _, _ := p.CommitInt(1, nil)
+	pr, _ := ProveBit(p, c1, o1, "ctx", nil)
+	if VerifyBit(p, c2, pr, "ctx") == nil {
+		t.Fatal("bit proof transferred between commitments")
+	}
+}
+
+func TestRangeRoundTrip(t *testing.T) {
+	p := params()
+	for _, v := range []int64{0, 1, 7, 100, 255} {
+		c, o, _ := p.CommitInt(v, nil)
+		pr, err := ProveRange(p, c, o, 8, "ctx", nil)
+		if err != nil {
+			t.Fatalf("prove range %d: %v", v, err)
+		}
+		if err := VerifyRange(p, c, 8, pr, "ctx"); err != nil {
+			t.Fatalf("verify range %d: %v", v, err)
+		}
+	}
+}
+
+func TestRangeRefusesOutOfRange(t *testing.T) {
+	p := params()
+	c, o, _ := p.CommitInt(256, nil)
+	if _, err := ProveRange(p, c, o, 8, "ctx", nil); err == nil {
+		t.Fatal("prover produced a range proof for 256 in [0,256)")
+	}
+	cn, on, _ := p.CommitInt(-1, nil)
+	if _, err := ProveRange(p, cn, on, 8, "ctx", nil); err == nil {
+		t.Fatal("prover produced a range proof for -1")
+	}
+}
+
+func TestRangeRejectsWrongCommitment(t *testing.T) {
+	p := params()
+	c, o, _ := p.CommitInt(100, nil)
+	pr, _ := ProveRange(p, c, o, 8, "ctx", nil)
+	c2, _, _ := p.CommitInt(100, nil)
+	if VerifyRange(p, c2, 8, pr, "ctx") == nil {
+		t.Fatal("range proof transferred to another commitment")
+	}
+}
+
+func TestRangeRejectsWidthMismatch(t *testing.T) {
+	p := params()
+	c, o, _ := p.CommitInt(100, nil)
+	pr, _ := ProveRange(p, c, o, 8, "ctx", nil)
+	if VerifyRange(p, c, 9, pr, "ctx") == nil {
+		t.Fatal("width-mismatched range proof verified")
+	}
+}
+
+func TestRangeRejectsBitSubstitution(t *testing.T) {
+	p := params()
+	c, o, _ := p.CommitInt(100, nil)
+	pr, _ := ProveRange(p, c, o, 8, "ctx", nil)
+	// Substitute a bit commitment with a fresh commitment to 1.
+	forged, fo, _ := p.CommitInt(1, nil)
+	fpr, _ := ProveBit(p, forged, fo, "ctx/bit3", nil)
+	pr.Bits[3] = forged
+	pr.BitProofs[3] = fpr
+	if VerifyRange(p, c, 8, pr, "ctx") == nil {
+		t.Fatal("bit-substituted range proof verified")
+	}
+}
+
+func TestBoundRoundTrip(t *testing.T) {
+	p := params()
+	bound := big.NewInt(40)
+	for _, v := range []int64{0, 1, 39, 40} {
+		c, o, _ := p.CommitInt(v, nil)
+		pr, err := ProveBound(p, c, o, bound, "ctx", nil)
+		if err != nil {
+			t.Fatalf("prove bound %d: %v", v, err)
+		}
+		if err := VerifyBound(p, c, bound, pr, "ctx"); err != nil {
+			t.Fatalf("verify bound %d: %v", v, err)
+		}
+	}
+}
+
+func TestBoundRefusesViolation(t *testing.T) {
+	p := params()
+	bound := big.NewInt(40)
+	c, o, _ := p.CommitInt(41, nil)
+	if _, err := ProveBound(p, c, o, bound, "ctx", nil); err == nil {
+		t.Fatal("prover produced a bound proof for 41 <= 40")
+	}
+}
+
+func TestBoundRejectsDifferentBound(t *testing.T) {
+	p := params()
+	c, o, _ := p.CommitInt(39, nil)
+	pr, _ := ProveBound(p, c, o, big.NewInt(40), "ctx", nil)
+	// The same proof must not verify for a tighter bound.
+	if VerifyBound(p, c, big.NewInt(30), pr, "ctx") == nil {
+		t.Fatal("bound proof verified for a different bound")
+	}
+}
+
+// Property: bound proofs round trip for random (v, B) with 0 <= v <= B.
+func TestQuickBound(t *testing.T) {
+	p := params()
+	f := func(rawV, rawB uint16) bool {
+		b := int64(rawB%200) + 1
+		v := int64(rawV) % (b + 1)
+		c, o, err := p.CommitInt(v, nil)
+		if err != nil {
+			return false
+		}
+		pr, err := ProveBound(p, c, o, big.NewInt(b), "q", nil)
+		if err != nil {
+			return false
+		}
+		return VerifyBound(p, c, big.NewInt(b), pr, "q") == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkProveBound40(b *testing.B) {
+	p := params()
+	bound := big.NewInt(40)
+	c, o, _ := p.CommitInt(25, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProveBound(p, c, o, bound, "bench", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyBound40(b *testing.B) {
+	p := params()
+	bound := big.NewInt(40)
+	c, o, _ := p.CommitInt(25, nil)
+	pr, _ := ProveBound(p, c, o, bound, "bench", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyBound(p, c, bound, pr, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
