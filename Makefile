@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test check race bench bench-json vet fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis plus the full suite under the race
+# detector (the pipeline's concurrency contract is only proven with -race).
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+bench-json:
+	$(GO) run ./cmd/prever-bench -json

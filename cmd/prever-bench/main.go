@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	prever-bench [-scale quick|full] [-only E4]
+//	prever-bench [-scale quick|full] [-only E4] [-json]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	onlyFlag := flag.String("only", "", "run a single experiment (E1, E1b, E2..E8)")
+	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON tables instead of text")
 	flag.Parse()
 
 	var scale bench.Scale
@@ -57,12 +58,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "prever-bench: %v\n", err)
 			os.Exit(1)
 		}
-		tbl.Fprint(os.Stdout)
+		if *jsonFlag {
+			if err := tbl.FprintJSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "prever-bench: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			tbl.Fprint(os.Stdout)
+		}
 	} else {
-		if err := bench.Run(os.Stdout, scale); err != nil {
+		run := bench.Run
+		if *jsonFlag {
+			run = bench.RunJSON
+		}
+		if err := run(os.Stdout, scale); err != nil {
 			fmt.Fprintf(os.Stderr, "prever-bench: %v\n", err)
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+	if !*jsonFlag {
+		fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+	}
 }

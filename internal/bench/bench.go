@@ -6,19 +6,23 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
 	"time"
+
+	"prever/internal/core"
 )
 
-// Table is one experiment's output, printable as an aligned text table.
+// Table is one experiment's output, printable as an aligned text table or
+// as JSON (see FprintJSON / RunJSON).
 type Table struct {
-	ID     string
-	Title  string
-	Notes  string
-	Header []string
-	Rows   [][]string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Notes  string     `json:"notes,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a row.
@@ -73,6 +77,13 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
+// FprintJSON renders the table as one indented JSON object.
+func (t *Table) FprintJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
 // Scale selects experiment sizes.
 type Scale int
 
@@ -97,7 +108,12 @@ func perOp(n int, d time.Duration) string {
 	if n == 0 {
 		return "-"
 	}
-	us := d.Seconds() * 1e6 / float64(n)
+	return fmtDur(time.Duration(float64(d) / float64(n)))
+}
+
+// fmtDur formats a single latency with the same unit scaling as perOp.
+func fmtDur(d time.Duration) string {
+	us := d.Seconds() * 1e6
 	switch {
 	case us >= 10000:
 		return fmt.Sprintf("%.1f ms", us/1000)
@@ -108,9 +124,22 @@ func perOp(n int, d time.Duration) string {
 	}
 }
 
-// Run executes every experiment and prints its table.
-func Run(w io.Writer, scale Scale) error {
-	experiments := []func(Scale) (*Table, error){
+// latencyCells renders an engine's latency histogram as the p50/p95/p99
+// table cells every E2 row carries.
+func latencyCells(s core.Stats) []string {
+	l := s.Latency
+	if l.Count == 0 {
+		return []string{"-", "-", "-"}
+	}
+	return []string{fmtDur(l.P50), fmtDur(l.P95), fmtDur(l.P99)}
+}
+
+// naLatencyCells pads a row that has no engine behind it.
+func naLatencyCells() []string { return []string{"-", "-", "-"} }
+
+// Experiments is the full suite in E-number order.
+func Experiments() []func(Scale) (*Table, error) {
+	return []func(Scale) (*Table, error){
 		E1YCSB,
 		E1TPCC,
 		E2Verify,
@@ -121,7 +150,11 @@ func Run(w io.Writer, scale Scale) error {
 		E7DP,
 		E8Adversary,
 	}
-	for _, exp := range experiments {
+}
+
+// Run executes every experiment and prints its table.
+func Run(w io.Writer, scale Scale) error {
+	for _, exp := range Experiments() {
 		t, err := exp(scale)
 		if err != nil {
 			return err
@@ -129,4 +162,20 @@ func Run(w io.Writer, scale Scale) error {
 		t.Fprint(w)
 	}
 	return nil
+}
+
+// RunJSON executes every experiment and emits one indented JSON array of
+// tables — the machine-readable form of Run for downstream tooling.
+func RunJSON(w io.Writer, scale Scale) error {
+	var tables []*Table
+	for _, exp := range Experiments() {
+		t, err := exp(scale)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -21,6 +22,70 @@ func TestTableFormatting(t *testing.T) {
 	for _, want := range []string{"EX", "example", "a note", "col1", "longer-cell"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tbl := &Table{
+		ID:     "EX",
+		Title:  "example",
+		Header: []string{"a", "b"},
+	}
+	tbl.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tbl.FprintJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.ID != "EX" || len(got.Rows) != 1 || got.Rows[0][1] != "2" {
+		t.Fatalf("round trip mangled table: %+v", got)
+	}
+}
+
+// The E2 table must carry histogram percentiles for every row, and they
+// must survive the JSON path (the contract -json consumers rely on).
+func TestE2PercentilesInJSON(t *testing.T) {
+	tbl, err := E2Verify(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"p50", "p95", "p99"} {
+		found := false
+		for _, h := range tbl.Header {
+			if h == col {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("E2 header missing %q: %v", col, tbl.Header)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tbl.FprintJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	// Every measured row (not an n/a or error placeholder) has real
+	// percentile cells, e.g. "12.3 µs", never empty.
+	for i, row := range got.Rows {
+		if len(row) != len(got.Header) {
+			t.Fatalf("row %d has %d cells for %d columns", i, len(row), len(got.Header))
+		}
+		measured := !strings.HasPrefix(row[2], "n/a") && !strings.HasPrefix(row[2], "error")
+		for _, cell := range row[3:] {
+			if cell == "" {
+				t.Fatalf("row %d has an empty percentile cell: %v", i, row)
+			}
+			if measured && cell == "-" {
+				t.Fatalf("measured row %d missing percentiles: %v", i, row)
+			}
 		}
 	}
 }

@@ -215,8 +215,8 @@ func E2Verify(scale Scale) (*Table, error) {
 	t := &Table{
 		ID:     "E2",
 		Title:  "Update verification latency by constraint type and privacy mode",
-		Notes:  fmt.Sprintf("%d updates per cell; Paillier %d-bit; ZK over the small test group", n, heBits),
-		Header: []string{"constraint", "mode", "per-update"},
+		Notes:  fmt.Sprintf("%d updates per cell; Paillier %d-bit; ZK over the small test group; percentiles from each engine's latency histogram", n, heBits),
+		Header: []string{"constraint", "mode", "per-update", "p50", "p95", "p99"},
 	}
 	type c struct {
 		name, source string
@@ -259,18 +259,18 @@ func E2Verify(scale Scale) (*Table, error) {
 				return nil, err
 			}
 		}
-		t.AddRow(cc.name, "plaintext", perOp(n, time.Since(start)))
+		t.AddRow(append([]string{cc.name, "plaintext", perOp(n, time.Since(start))}, latencyCells(mgr.Stats())...)...)
 
 		// Encrypted (HE) mode: only linear bounds qualify.
 		form, ok := constraint.CompileBound(constraint.MustParse(cc.source))
 		if !ok {
-			t.AddRow(cc.name, "encrypted(HE)", "n/a (not a linear bound)")
-			t.AddRow(cc.name, "zk-proof", "n/a (not a linear bound)")
+			t.AddRow(append([]string{cc.name, "encrypted(HE)", "n/a (not a linear bound)"}, naLatencyCells()...)...)
+			t.AddRow(append([]string{cc.name, "zk-proof", "n/a (not a linear bound)"}, naLatencyCells()...)...)
 			continue
 		}
 		spec, err := core.DeriveBoundSpec(cc.name, form)
 		if err != nil {
-			t.AddRow(cc.name, "encrypted(HE)", "n/a ("+err.Error()+")")
+			t.AddRow(append([]string{cc.name, "encrypted(HE)", "n/a (" + err.Error() + ")"}, naLatencyCells()...)...)
 		} else {
 			helper, err := mpc.NewHelper(heBits)
 			if err != nil {
@@ -295,7 +295,7 @@ func E2Verify(scale Scale) (*Table, error) {
 					return nil, err
 				}
 			}
-			t.AddRow(cc.name, "encrypted(HE)", perOp(n, time.Since(start)))
+			t.AddRow(append([]string{cc.name, "encrypted(HE)", perOp(n, time.Since(start))}, latencyCells(em.Stats())...)...)
 		}
 
 		// ZK mode: cumulative bounds only (windows need plaintext expiry).
@@ -305,7 +305,7 @@ func E2Verify(scale Scale) (*Table, error) {
 		}
 		setupOK := spec != nil && spec.Agg == nil || cc.name == "aggregate-bound"
 		if !setupOK {
-			t.AddRow(cc.name, "zk-proof", "n/a (windowed)")
+			t.AddRow(append([]string{cc.name, "zk-proof", "n/a (windowed)"}, naLatencyCells()...)...)
 			continue
 		}
 		zkBench(t, cc.name, zkN)
@@ -314,10 +314,13 @@ func E2Verify(scale Scale) (*Table, error) {
 }
 
 func zkBench(t *Table, name string, n int) {
+	fail := func(err error) {
+		t.AddRow(append([]string{name, "zk-proof", "error: " + err.Error()}, naLatencyCells()...)...)
+	}
 	params := zkParams()
 	m, err := core.NewZKBoundManager(name, params, int64(n)*2)
 	if err != nil {
-		t.AddRow(name, "zk-proof", "error: "+err.Error())
+		fail(err)
 		return
 	}
 	owner := core.NewZKOwner(params, name, int64(n)*2)
@@ -325,15 +328,15 @@ func zkBench(t *Table, name string, n int) {
 	for i := 0; i < n; i++ {
 		u, err := owner.ProduceUpdate(fmt.Sprintf("u%d", i), "w1", "w1", 1)
 		if err != nil {
-			t.AddRow(name, "zk-proof", "error: "+err.Error())
+			fail(err)
 			return
 		}
 		if _, err := m.SubmitZK(u); err != nil {
-			t.AddRow(name, "zk-proof", "error: "+err.Error())
+			fail(err)
 			return
 		}
 	}
-	t.AddRow(name, "zk-proof", perOp(n, time.Since(start)))
+	t.AddRow(append([]string{name, "zk-proof", perOp(n, time.Since(start))}, latencyCells(m.Stats())...)...)
 }
 
 // E3Federated contrasts the two RC2 enforcement mechanisms — Separ-style

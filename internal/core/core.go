@@ -207,7 +207,16 @@ type Receipt struct {
 }
 
 // Engine is the uniform submission interface all PReVer instantiations
-// expose: Figure 2 steps (1)-(3) behind one call.
+// expose: Figure 2 steps (1)-(3) behind one call, plus the batched
+// submission path and the observability surface the evaluation
+// methodology (§6) drives.
+//
+// Engines whose updates are independently verifiable (per-producer
+// constraints) implement SubmitBatch with SubmitConcurrent — verification
+// fans out across key-hashed lanes while incorporation stays a short
+// critical section. Engines whose verification protocol is inherently
+// serialized (a comparison oracle in the loop) fall back to
+// SubmitSequential; both defaults live in pipeline.go.
 type Engine interface {
 	// Name identifies the instantiation.
 	Name() string
@@ -216,6 +225,13 @@ type Engine interface {
 	// A rejected update returns a Receipt with Accepted == false and a
 	// nil error; errors are reserved for operational failures.
 	Submit(u Update) (Receipt, error)
+	// SubmitBatch submits a batch, returning receipts in input order and
+	// the first operational error. Per-producer ordering is preserved;
+	// updates of different producers may verify concurrently.
+	SubmitBatch(us []Update) ([]Receipt, error)
+	// Stats returns a tear-free snapshot of the engine's submission
+	// counters and latency histogram.
+	Stats() Stats
 }
 
 // ErrRejected wraps a constraint rejection for callers that prefer errors.

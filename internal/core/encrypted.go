@@ -247,6 +247,19 @@ func (m *EncryptedManager) SubmitEncrypted(u EncryptedUpdate) (r Receipt, err er
 	return Receipt{UpdateID: u.ID, Accepted: true, LedgerSeq: rcpt.Seq}, nil
 }
 
+// SubmitEncryptedBatch is the default (sequential) batch path: the
+// masked-comparison protocol interposes the sign oracle on every check
+// against windowed aggregate state, so verification cannot be reordered
+// or overlapped without changing what the oracle learns. Receipts come
+// back in input order.
+func (m *EncryptedManager) SubmitEncryptedBatch(us []EncryptedUpdate) ([]Receipt, error) {
+	return SubmitSequential(m.SubmitEncrypted, us)
+}
+
+// EncryptedLane is the pipeline lane key for ciphertext updates: the
+// routing group (per-group ordering for the windowed aggregates).
+func EncryptedLane(u EncryptedUpdate) string { return u.Group }
+
 // checkSpecLocked evaluates one bound against the update: it assembles
 // the coefficient-scaled ciphertext list (windowed aggregate history +
 // update terms), asks the oracle, and returns the update's own aggregate

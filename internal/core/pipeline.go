@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// The submission pipeline: a bounded worker pool that fans a stream of
+// updates across key-hashed lanes. It is the substrate for batched,
+// concurrent submission (ROADMAP: "heavy traffic ... as fast as the
+// hardware allows") while keeping the per-producer semantics engines need:
+//
+//	            ┌ lane 0 ─ worker ─┐
+//	producers ──┼ lane 1 ─ worker ─┼── engine.Submit ── Receipt
+//	  (hash)    ├ lane 2 ─ worker ─┤
+//	            └ lane 3 ─ worker ─┘
+//
+//   - Ordering: updates with the same lane key (by default the producer)
+//     hash to the same lane and are processed strictly in submission
+//     order. Engines whose constraints group per producer (the FLSA
+//     family) therefore never see two in-flight updates race on one
+//     group's state.
+//   - Backpressure: each lane is a bounded queue; Submit blocks when the
+//     lane is full, so a fast producer cannot grow memory without bound.
+//   - Drain: Close stops intake, lets every queued update finish, and
+//     waits for the workers to exit; every issued Ticket resolves.
+//
+// The pipeline is generic over the update type, so the same machinery
+// drives plaintext Updates, EncryptedUpdates, ZKUpdates, TaskSubmissions
+// and CredentialedEntries.
+
+// PipelineConfig sizes a Pipeline.
+type PipelineConfig struct {
+	// Width is the number of lanes (= worker goroutines). Defaults to
+	// GOMAXPROCS.
+	Width int
+	// QueueDepth is the per-lane buffered queue size; submissions beyond
+	// it block (backpressure). Defaults to 64.
+	QueueDepth int
+}
+
+// ErrPipelineClosed is returned by Submit after Close.
+var ErrPipelineClosed = errors.New("core: pipeline closed")
+
+// Result is the outcome of one asynchronous submission.
+type Result struct {
+	Receipt Receipt
+	Err     error
+}
+
+// Ticket is the handle for one in-flight submission.
+type Ticket struct {
+	ch <-chan Result
+}
+
+// Wait blocks until the submission completes.
+func (t Ticket) Wait() (Receipt, error) {
+	res := <-t.ch
+	return res.Receipt, res.Err
+}
+
+type pipeJob[U any] struct {
+	u  U
+	ch chan Result
+}
+
+// Pipeline fans updates of type U across key-hashed lanes into a submit
+// function. Construct with NewPipeline (typed engines) or
+// NewEnginePipeline (the uniform Engine interface).
+type Pipeline[U any] struct {
+	submit func(U) (Receipt, error)
+	laneOf func(U) string
+	lanes  []chan pipeJob[U]
+	wg     sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed; held shared across enqueues
+	closed bool
+}
+
+// NewPipeline builds a pipeline over any typed submit function. laneOf
+// maps an update to its ordering key; updates with equal keys are
+// processed in submission order.
+func NewPipeline[U any](submit func(U) (Receipt, error), laneOf func(U) string, cfg PipelineConfig) *Pipeline[U] {
+	width := cfg.Width
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	p := &Pipeline[U]{
+		submit: submit,
+		laneOf: laneOf,
+		lanes:  make([]chan pipeJob[U], width),
+	}
+	for i := range p.lanes {
+		lane := make(chan pipeJob[U], depth)
+		p.lanes[i] = lane
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range lane {
+				r, err := p.submit(j.u)
+				j.ch <- Result{Receipt: r, Err: err}
+			}
+		}()
+	}
+	return p
+}
+
+// LaneKey is the default lane key for plaintext Updates: the producer
+// (per-producer ordering, matching per-producer constraints), falling
+// back to the row key for producer-less updates.
+func LaneKey(u Update) string {
+	if u.Producer != "" {
+		return u.Producer
+	}
+	return u.Key
+}
+
+// NewEnginePipeline builds a Pipeline over an Engine's Submit with
+// per-producer lanes.
+func NewEnginePipeline(e Engine, cfg PipelineConfig) *Pipeline[Update] {
+	return NewPipeline(e.Submit, LaneKey, cfg)
+}
+
+func (p *Pipeline[U]) laneIndex(u U) int {
+	h := fnv.New32a()
+	h.Write([]byte(p.laneOf(u)))
+	return int(h.Sum32() % uint32(len(p.lanes)))
+}
+
+// Width reports the number of lanes.
+func (p *Pipeline[U]) Width() int { return len(p.lanes) }
+
+// Submit enqueues an update on its lane and returns a Ticket. It blocks
+// while the lane queue is full (backpressure) and fails after Close.
+func (p *Pipeline[U]) Submit(u U) (Ticket, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return Ticket{}, ErrPipelineClosed
+	}
+	ch := make(chan Result, 1)
+	p.lanes[p.laneIndex(u)] <- pipeJob[U]{u: u, ch: ch}
+	return Ticket{ch: ch}, nil
+}
+
+// Do submits an update and waits for its outcome (synchronous path over
+// the pipeline's ordering and backpressure).
+func (p *Pipeline[U]) Do(u U) (Receipt, error) {
+	t, err := p.Submit(u)
+	if err != nil {
+		return Receipt{}, err
+	}
+	return t.Wait()
+}
+
+// SubmitAll enqueues a batch in order and waits for every outcome.
+// Receipts are returned in input order; the error is the first
+// operational error (rejections are receipts, not errors).
+func (p *Pipeline[U]) SubmitAll(us []U) ([]Receipt, error) {
+	tickets := make([]Ticket, 0, len(us))
+	var firstErr error
+	for _, u := range us {
+		t, err := p.Submit(u)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		tickets = append(tickets, t)
+	}
+	receipts := make([]Receipt, len(us))
+	for i, t := range tickets {
+		r, err := t.Wait()
+		receipts[i] = r
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return receipts, firstErr
+}
+
+// Close stops intake, drains every lane and waits for the workers to
+// exit. Safe to call more than once.
+func (p *Pipeline[U]) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	// No Submit is mid-enqueue past this point (they hold mu.RLock while
+	// sending and re-check closed), so closing the lanes is safe.
+	for _, lane := range p.lanes {
+		close(lane)
+	}
+	p.wg.Wait()
+	return nil
+}
+
+// --- batch defaults -------------------------------------------------------
+
+// SubmitSequential is the default batch implementation: one Submit at a
+// time, receipts in input order. Engines whose verification is inherently
+// serialized (EncryptedManager's comparison-oracle protocol) use it as
+// their SubmitBatch.
+func SubmitSequential[U any](submit func(U) (Receipt, error), us []U) ([]Receipt, error) {
+	receipts := make([]Receipt, len(us))
+	var firstErr error
+	for i, u := range us {
+		r, err := submit(u)
+		receipts[i] = r
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return receipts, firstErr
+}
+
+// SubmitConcurrent fans a batch across a temporary pipeline: updates with
+// the same lane key stay ordered, the rest verify in parallel. width <= 0
+// means GOMAXPROCS. Engines with independently verifiable updates use it
+// as their SubmitBatch.
+func SubmitConcurrent[U any](submit func(U) (Receipt, error), laneOf func(U) string, us []U, width int) ([]Receipt, error) {
+	if len(us) < 2 {
+		return SubmitSequential(submit, us)
+	}
+	p := NewPipeline(submit, laneOf, PipelineConfig{Width: width})
+	defer p.Close()
+	return p.SubmitAll(us)
+}

@@ -93,9 +93,38 @@ func (m *PublicPIRManager) Directory() []string {
 	return append([]string(nil), m.keys...)
 }
 
+// CredentialedEntry pairs a public entry with the private credential that
+// authorizes publishing it — the update unit of the RC3 batch path.
+type CredentialedEntry struct {
+	Entry PublicEntry
+	Cred  token.Token
+}
+
+// SubmitCredentialed is SubmitWithCredential over a CredentialedEntry
+// (the typed-submit shape pipelines and batches drive).
+func (m *PublicPIRManager) SubmitCredentialed(ce CredentialedEntry) (Receipt, error) {
+	return m.SubmitWithCredential(ce.Entry, ce.Cred)
+}
+
+// CredentialLane is the pipeline lane key for credentialed entries:
+// per-key ordering so re-registrations of one key apply in order.
+func CredentialLane(ce CredentialedEntry) string { return ce.Entry.Key }
+
+// SubmitCredentialedBatch fans a batch across key-hashed lanes. Credential
+// verification (an RSA signature check plus a spent-store insert) is
+// independently verifiable per entry, so it runs genuinely concurrently;
+// incorporation into the PIR replicas is a short critical section.
+func (m *PublicPIRManager) SubmitCredentialedBatch(ces []CredentialedEntry) ([]Receipt, error) {
+	return SubmitConcurrent(m.SubmitCredentialed, CredentialLane, ces, 0)
+}
+
 // SubmitWithCredential verifies the private credential against the public
 // constraint and, if valid, publishes the entry. The credential is
 // single-use: re-registering with the same credential fails.
+//
+// Concurrency: the credential check runs before the manager lock is
+// taken (the spent store is internally synchronized), so lanes verify in
+// parallel and only the directory/PIR/ledger writes serialize.
 func (m *PublicPIRManager) SubmitWithCredential(entry PublicEntry, cred token.Token) (r Receipt, err error) {
 	start := time.Now()
 	defer func() { m.stats.record(start, r, err) }()

@@ -26,6 +26,12 @@ import (
 // on its own, and then prove to everyone else that it did so correctly" —
 // here the owner knows the secret values and proves; everyone (the
 // manager, auditors) verifies.
+// Concurrency: proof verification (the expensive group exponentiations)
+// runs OUTSIDE the lock against a snapshot of the group's running
+// commitment; incorporation re-checks the snapshot under a short critical
+// section and re-verifies serially in the (lane-disciplined pipelines
+// never hit it) case that the group advanced mid-verify. Different groups
+// therefore verify fully in parallel.
 type ZKBoundManager struct {
 	name   string
 	stats  statsRecorder
@@ -33,7 +39,7 @@ type ZKBoundManager struct {
 	bound  *big.Int
 	ledger *ledger.Ledger
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	running map[string]commit.Commitment
 }
 
@@ -75,8 +81,8 @@ func (m *ZKBoundManager) Ledger() *ledger.Ledger { return m.ledger }
 // Running returns the current running commitment for a group (identity
 // commitment for unseen groups).
 func (m *ZKBoundManager) Running(group string) commit.Commitment {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.runningLocked(group)
 }
 
@@ -96,6 +102,11 @@ func proofContext(name, group, updateID string) string {
 // SubmitZK verifies the proof against the folded commitment and, if
 // valid, advances the group's running commitment and anchors both the
 // update commitment and the new running commitment in the ledger.
+//
+// The expensive verification runs outside the lock against a snapshot of
+// the group's fold; incorporation commits only if the fold is unchanged
+// (same-group submissions are serialized by the pipeline's lanes, so the
+// re-verify fallback is reserved for undisciplined callers).
 func (m *ZKBoundManager) SubmitZK(u ZKUpdate) (r Receipt, err error) {
 	start := time.Now()
 	defer func() { m.stats.record(start, r, err) }()
@@ -105,11 +116,22 @@ func (m *ZKBoundManager) SubmitZK(u ZKUpdate) (r Receipt, err error) {
 	if !m.params.Group.Contains(u.C.C) {
 		return Receipt{}, errors.New("core: commitment outside the group")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	combined := m.params.Add(m.runningLocked(u.Group), u.C)
+	// Verify (read-locked snapshot; proof check runs lock-free).
+	m.mu.RLock()
+	prev := m.runningLocked(u.Group)
+	m.mu.RUnlock()
+	combined := m.params.Add(prev, u.C)
 	ctx := proofContext(m.name, u.Group, u.ID)
-	if err := zk.VerifyBound(m.params, combined, m.bound, u.Proof, ctx); err != nil {
+	verr := zk.VerifyBound(m.params, combined, m.bound, u.Proof, ctx)
+	// Incorporate (short critical section).
+	m.mu.Lock()
+	if cur := m.runningLocked(u.Group); !cur.Equal(prev) {
+		// The group's fold advanced mid-verify: redo against it.
+		combined = m.params.Add(cur, u.C)
+		verr = zk.VerifyBound(m.params, combined, m.bound, u.Proof, ctx)
+	}
+	if verr != nil {
+		m.mu.Unlock()
 		return Receipt{
 			UpdateID: u.ID,
 			Accepted: false,
@@ -118,12 +140,23 @@ func (m *ZKBoundManager) SubmitZK(u ZKUpdate) (r Receipt, err error) {
 		}, nil
 	}
 	m.running[u.Group] = combined
+	m.mu.Unlock()
 	payload := append(u.C.Bytes(), combined.Bytes()...)
 	rcpt, err := m.ledger.Put("zk/"+u.Group+"/"+u.ID, payload, u.Producer, u.ID)
 	if err != nil {
 		return Receipt{}, fmt.Errorf("core: ledger: %w", err)
 	}
 	return Receipt{UpdateID: u.ID, Accepted: true, LedgerSeq: rcpt.Seq}, nil
+}
+
+// ZKLane is the pipeline lane key for proof-carrying updates: proofs
+// chain per group, so a group's updates must apply in production order.
+func ZKLane(u ZKUpdate) string { return u.Group }
+
+// SubmitZKBatch fans a batch across group-hashed lanes: proofs for
+// different groups verify concurrently, each group's chain stays ordered.
+func (m *ZKBoundManager) SubmitZKBatch(us []ZKUpdate) ([]Receipt, error) {
+	return SubmitConcurrent(m.SubmitZK, ZKLane, us, 0)
 }
 
 // ZKOwner is the data-owner side: it knows the plaintext values and

@@ -140,12 +140,15 @@ func (n *Network) Send(msg Message) {
 		delay += time.Duration(n.randInt63(int64(n.cfg.Jitter)))
 	}
 	deliver := func() {
-		defer func() {
-			// Inbox may be closed during shutdown; drop instead of crash.
-			if recover() != nil {
-				n.dropped.Add(1)
-			}
-		}()
+		// Re-check closed under the read lock: Close closes inboxes while
+		// holding the write lock, so a send can never race the close. The
+		// send is non-blocking, so the lock is held only momentarily.
+		n.mu.RLock()
+		defer n.mu.RUnlock()
+		if n.closed {
+			n.dropped.Add(1)
+			return
+		}
 		select {
 		case dst.inbox <- msg:
 			n.delivered.Add(1)

@@ -172,6 +172,44 @@ type (
 	Commitment = commit.Commitment
 )
 
+// Batched, concurrent submission (the Engine interface's SubmitBatch is
+// backed by the same machinery).
+type (
+	// Pipeline fans plaintext Updates across key-hashed lanes: per-producer
+	// ordering, bounded-queue backpressure, clean drain on Close. Build one
+	// per engine with NewPipeline; typed engines (encrypted, ZK, federated)
+	// use core.NewPipeline with their own update types.
+	Pipeline = core.Pipeline[core.Update]
+	// PipelineConfig sizes a Pipeline (Width defaults to GOMAXPROCS).
+	PipelineConfig = core.PipelineConfig
+	// PipelineTicket is the handle of one in-flight submission.
+	PipelineTicket = core.Ticket
+	// PipelineResult is an asynchronous submission outcome.
+	PipelineResult = core.Result
+)
+
+// ErrPipelineClosed is returned by Pipeline.Submit after Close.
+var ErrPipelineClosed = core.ErrPipelineClosed
+
+// NewPipeline builds a submission pipeline over an engine.
+func NewPipeline(e Engine, cfg PipelineConfig) *Pipeline {
+	return core.NewEnginePipeline(e, cfg)
+}
+
+// Setup is the uniform shape of every engine constructor's result: the
+// engine bundled with the secret-holding side artifacts minted during
+// construction (keys, helpers, authorities, owner state). Every *Setup
+// type — and *PlainManager itself — exposes the engine's identity and
+// tear-free stats through this interface, so harnesses can drive mixed
+// fleets of instantiations uniformly.
+type Setup interface {
+	// Name identifies the constructed engine.
+	Name() string
+	// Stats snapshots the engine's submission counters and latency
+	// histogram.
+	Stats() EngineStats
+}
+
 // Constructors (thin veneers over the internal packages; every returned
 // type's methods are documented on the type).
 
@@ -222,6 +260,12 @@ type EncryptedSetup struct {
 	// Helper holds the comparison trapdoor (NOT given to the manager).
 	Helper *mpc.Helper
 }
+
+// Name implements Setup.
+func (s *EncryptedSetup) Name() string { return s.Manager.Name() }
+
+// Stats implements Setup.
+func (s *EncryptedSetup) Stats() EngineStats { return s.Manager.Stats() }
 
 // NewEncryptedManager compiles a bound constraint and builds the RC1
 // engine with a fresh Paillier helper of the given key size.
@@ -301,6 +345,12 @@ type ZKSetup struct {
 	Owner   *ZKOwner
 }
 
+// Name implements Setup.
+func (s *ZKSetup) Name() string { return s.Manager.Name() }
+
+// Stats implements Setup.
+func (s *ZKSetup) Stats() EngineStats { return s.Manager.Stats() }
+
 // NewZKBoundManager builds the proof-carrying RC1 engine over the fixed
 // 2048-bit group (use NewZKBoundManagerWithGroup for test-sized groups).
 func NewZKBoundManager(name string, bound int64) (*ZKSetup, error) {
@@ -327,6 +377,12 @@ type TokenFederationSetup struct {
 	Authority  *token.Authority
 }
 
+// Name implements Setup.
+func (s *TokenFederationSetup) Name() string { return s.Federation.Name() }
+
+// Stats implements Setup.
+func (s *TokenFederationSetup) Stats() EngineStats { return s.Federation.Stats() }
+
 // NewTokenFederation builds the RC2 centralized engine with a fresh
 // authority and an in-memory shared spent store.
 func NewTokenFederation(name, period string, platforms []string, authorityKeyBits int) (*TokenFederationSetup, error) {
@@ -341,28 +397,84 @@ func NewTokenFederation(name, period string, platforms []string, authorityKeyBit
 	return &TokenFederationSetup{Federation: fed, Authority: auth}, nil
 }
 
-// NewMPCFederation builds the RC2 decentralized engine with a fresh
+// MPCFederationSetup bundles the RC2 decentralized engine with its
+// semi-trusted helper (the comparison trapdoor — NOT given to platforms).
+type MPCFederationSetup struct {
+	Federation *MPCFederation
+	Helper     *mpc.Helper
+}
+
+// Name implements Setup.
+func (s *MPCFederationSetup) Name() string { return s.Federation.Name() }
+
+// Stats implements Setup.
+func (s *MPCFederationSetup) Stats() EngineStats { return s.Federation.Stats() }
+
+// NewMPCFederationSetup builds the RC2 decentralized engine with a fresh
 // helper.
-func NewMPCFederation(name string, bound int64, window time.Duration, platforms []string, keyBits int) (*MPCFederation, error) {
+func NewMPCFederationSetup(name string, bound int64, window time.Duration, platforms []string, keyBits int) (*MPCFederationSetup, error) {
 	helper, err := mpc.NewHelper(keyBits)
 	if err != nil {
 		return nil, err
 	}
-	return core.NewMPCFederation(name, helper.PublicKey(), helper, bound, window, platforms)
+	fed, err := core.NewMPCFederation(name, helper.PublicKey(), helper, bound, window, platforms)
+	if err != nil {
+		return nil, err
+	}
+	return &MPCFederationSetup{Federation: fed, Helper: helper}, nil
+}
+
+// NewMPCFederation builds the RC2 decentralized engine with a fresh
+// helper.
+//
+// Deprecated: use NewMPCFederationSetup, which follows the uniform Setup
+// pattern and keeps a handle on the helper for audits and tests.
+func NewMPCFederation(name string, bound int64, window time.Duration, platforms []string, keyBits int) (*MPCFederation, error) {
+	s, err := NewMPCFederationSetup(name, bound, window, platforms, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	return s.Federation, nil
+}
+
+// PublicPIRSetup bundles the RC3 engine with its credential authority.
+type PublicPIRSetup struct {
+	Manager *PublicPIRManager
+	// Authority issues the blind-signed credentials producers spend.
+	Authority *token.Authority
+}
+
+// Name implements Setup.
+func (s *PublicPIRSetup) Name() string { return s.Manager.Name() }
+
+// Stats implements Setup.
+func (s *PublicPIRSetup) Stats() EngineStats { return s.Manager.Stats() }
+
+// NewPublicPIRSetup builds the RC3 engine with a fresh credential
+// authority.
+func NewPublicPIRSetup(name, event string, blockSize, authorityKeyBits int) (*PublicPIRSetup, error) {
+	auth, err := token.NewAuthority(authorityKeyBits, nil)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewPublicPIRManager(name, auth.PublicKey(), event, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	return &PublicPIRSetup{Manager: m, Authority: auth}, nil
 }
 
 // NewPublicPIRManager builds the RC3 engine with a fresh credential
 // authority.
+//
+// Deprecated: use NewPublicPIRSetup; the multi-value return predates the
+// uniform Setup pattern.
 func NewPublicPIRManager(name, event string, blockSize, authorityKeyBits int) (*PublicPIRManager, *token.Authority, error) {
-	auth, err := token.NewAuthority(authorityKeyBits, nil)
+	s, err := NewPublicPIRSetup(name, event, blockSize, authorityKeyBits)
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := core.NewPublicPIRManager(name, auth.PublicKey(), event, blockSize)
-	if err != nil {
-		return nil, nil, err
-	}
-	return m, auth, nil
+	return s.Manager, s.Authority, nil
 }
 
 // NewSepar boots the §5 Separ instantiation.
@@ -453,6 +565,14 @@ func NewCrowdwork(cfg CrowdworkConfig) (*workload.Crowdwork, error) {
 // BigInt re-exports math/big construction for APIs that take *big.Int.
 func BigInt(v int64) *big.Int { return big.NewInt(v) }
 
-// EngineStats are the per-engine submission counters every engine exposes
-// via its Stats method.
+// EngineStats are the per-engine submission counters and latency
+// histogram every engine exposes via its Stats method. Snapshots are
+// tear-free; LatencySummary carries p50/p95/p99/max.
 type EngineStats = core.Stats
+
+// LatencySummary is the condensed latency histogram inside EngineStats.
+type LatencySummary = core.LatencySummary
+
+// CredentialedEntry pairs a public entry with its private credential —
+// the RC3 batch submission unit.
+type CredentialedEntry = core.CredentialedEntry
