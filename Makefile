@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-json vet fmt
+.PHONY: build test check race bench bench-json vet fmt fmt-check lint
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,26 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs the project-specific analyzers (internal/lint): lockheld,
+# cryptorand, consttime, deferloop, errignored. See DESIGN.md.
+lint:
+	$(GO) run ./cmd/prever-lint ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: these files need formatting:"; echo "$$out"; exit 1; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: static analysis plus the full suite under the race
-# detector (the pipeline's concurrency contract is only proven with -race).
-check: vet race
+# check is the CI gate: formatting, static analysis (go vet plus the
+# project analyzers), then the full suite under the race detector (the
+# pipeline's concurrency contract is only proven with -race).
+check: fmt-check vet lint race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...

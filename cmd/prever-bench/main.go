@@ -35,15 +35,15 @@ func main() {
 	}
 
 	experiments := map[string]func(bench.Scale) (*bench.Table, error){
-		"E1": bench.E1YCSB,
+		"E1":  bench.E1YCSB,
 		"E1B": bench.E1TPCC,
-		"E2": bench.E2Verify,
-		"E3": bench.E3Federated,
-		"E4": bench.E4Consensus,
-		"E5": bench.E5Integrity,
-		"E6": bench.E6PIR,
-		"E7": bench.E7DP,
-		"E8": bench.E8Adversary,
+		"E2":  bench.E2Verify,
+		"E3":  bench.E3Federated,
+		"E4":  bench.E4Consensus,
+		"E5":  bench.E5Integrity,
+		"E6":  bench.E6PIR,
+		"E7":  bench.E7DP,
+		"E8":  bench.E8Adversary,
 	}
 
 	start := time.Now()

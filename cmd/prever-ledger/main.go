@@ -56,7 +56,10 @@ func main() {
 	early := l.Digest()
 	fmt.Printf("\n— relying party saves digest: size=%d root=%s —\n", early.Size, early.Root)
 
-	l.Put("sensor/000", []byte("post-digest"), "station-a", "tx-late")
+	if _, err := l.Put("sensor/000", []byte("post-digest"), "station-a", "tx-late"); err != nil {
+		fmt.Fprintf(os.Stderr, "prever-ledger: %v\n", err)
+		os.Exit(1)
+	}
 	now := l.Digest()
 
 	fmt.Println("\n— inclusion proof: entry 1 is in the saved digest —")

@@ -1,0 +1,74 @@
+// Command prever-lint runs the project's static-analysis suite
+// (internal/lint): stdlib-only analyzers tuned to this codebase's failure
+// modes — mutexes held across channel operations, math/rand in crypto
+// code, short-circuiting secret comparisons, defers inside loops, and
+// discarded errors from mutation entry points.
+//
+// Usage:
+//
+//	prever-lint [packages]
+//
+// Packages are directory patterns relative to the module root: "./..."
+// (the default) analyzes every non-test package; a plain directory
+// ("./internal/zk") analyzes one. Findings print one per line as
+//
+//	file:line: [analyzer] message
+//
+// and the exit status is 1 if anything was reported. Reviewed exceptions
+// are silenced in place with "//lint:ignore <analyzer> <reason>" on the
+// offending line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"prever/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: prever-lint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	findings := lint.Run(pkgs, lint.All())
+	for _, f := range findings {
+		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "prever-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prever-lint:", err)
+	os.Exit(1)
+}

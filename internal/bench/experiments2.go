@@ -156,7 +156,7 @@ func E6PIR(scale Scale) (*Table, error) {
 		reps := 20
 		start := time.Now()
 		for i := 0; i < reps; i++ {
-			if _, err := db.PrivateRead((i * 977) % n, nil); err != nil {
+			if _, err := db.PrivateRead((i*977)%n, nil); err != nil {
 				return nil, err
 			}
 		}
@@ -275,7 +275,9 @@ func E8Adversary(scale Scale) (*Table, error) {
 	{
 		l := ledger.New()
 		for i := 0; i < 1000; i++ {
-			l.Put(fmt.Sprintf("k%d", i), []byte("v"), "", "")
+			if _, err := l.Put(fmt.Sprintf("k%d", i), []byte("v"), "", ""); err != nil {
+				return nil, err
+			}
 		}
 		d := l.Digest()
 		entries := l.Export()
@@ -289,15 +291,21 @@ func E8Adversary(scale Scale) (*Table, error) {
 	{
 		l := ledger.New()
 		for i := 0; i < 100; i++ {
-			l.Put(fmt.Sprintf("k%d", i), []byte("v"), "", "")
+			if _, err := l.Put(fmt.Sprintf("k%d", i), []byte("v"), "", ""); err != nil {
+				return nil, err
+			}
 		}
 		saved := l.Digest()
 		fork := ledger.New()
 		for i := 0; i < 100; i++ {
-			fork.Put(fmt.Sprintf("k%d", i), []byte("forged"), "", "")
+			if _, err := fork.Put(fmt.Sprintf("k%d", i), []byte("forged"), "", ""); err != nil {
+				return nil, err
+			}
 		}
 		for i := 100; i < 150; i++ {
-			fork.Put(fmt.Sprintf("k%d", i), []byte("v"), "", "")
+			if _, err := fork.Put(fmt.Sprintf("k%d", i), []byte("v"), "", ""); err != nil {
+				return nil, err
+			}
 		}
 		p, err := fork.ProveConsistency(100, 0)
 		if err != nil {
@@ -316,10 +324,14 @@ func E8Adversary(scale Scale) (*Table, error) {
 		}
 		w, _ := token.NewWallet(auth.PublicKey(), "p", 1, nil)
 		sigs, _ := auth.IssueBudget("w", "p", w.BlindedRequests(), 10)
-		w.Finalize(sigs)
+		if err := w.Finalize(sigs); err != nil {
+			return nil, err
+		}
 		tok, _ := w.Next()
 		store := token.NewMemorySpentStore()
-		token.Spend(auth.PublicKey(), store, tok, "p")
+		if err := token.Spend(auth.PublicKey(), store, tok, "p"); err != nil {
+			return nil, err
+		}
 		start := time.Now()
 		err = token.Spend(auth.PublicKey(), store, tok, "p")
 		addResult("token double spend", "shared spent store", err == token.ErrDoubleSpend, time.Since(start))
@@ -383,10 +395,11 @@ func E8Adversary(scale Scale) (*Table, error) {
 		}
 		owner := core.NewZKOwner(params, "e8-zk", 10)
 		u, _ := owner.ProduceUpdate("t1", "w", "w", 10)
-		m.SubmitZK(u)
+		if _, err := m.SubmitZK(u); err != nil {
+			return nil, err
+		}
 		_, err = owner.ProduceUpdate("t2", "w", "w", 1)
 		addResult("over-budget update (zk engine)", "owner/prover refusal", err != nil, time.Since(setupT))
 	}
 	return t, nil
 }
-

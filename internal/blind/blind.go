@@ -17,6 +17,8 @@ import (
 	"errors"
 	"io"
 	"math/big"
+
+	"prever/internal/ct"
 )
 
 // Signer holds the authority's RSA private key.
@@ -131,7 +133,9 @@ func Verify(pub PublicKey, msg []byte, sig *big.Int) error {
 		return errors.New("blind: signature out of range")
 	}
 	check := new(big.Int).Exp(sig, big.NewInt(int64(pub.E)), pub.N)
-	if check.Cmp(hashToModulus(msg, pub.N)) != 0 {
+	// Constant-time: platforms verify attacker-supplied token signatures,
+	// and an early-exit compare would leak how much of a forgery matched.
+	if !ct.BigEqual(check, hashToModulus(msg, pub.N)) {
 		return errors.New("blind: signature verification failed")
 	}
 	return nil

@@ -14,6 +14,7 @@ import (
 	"io"
 	"math/big"
 
+	"prever/internal/ct"
 	"prever/internal/group"
 )
 
@@ -56,8 +57,10 @@ type Commitment struct {
 // Bytes returns the canonical encoding (for transcripts).
 func (c Commitment) Bytes() []byte { return c.C.Bytes() }
 
-// Equal reports element equality.
-func (c Commitment) Equal(o Commitment) bool { return c.C.Cmp(o.C) == 0 }
+// Equal reports element equality. Constant-time: Verify routes commitment
+// opening checks through here, and a short-circuiting compare would leak
+// how many leading bytes of a forged opening matched.
+func (c Commitment) Equal(o Commitment) bool { return ct.BigEqual(c.C, o.C) }
 
 // Opening is the (message, randomness) pair that opens a commitment.
 type Opening struct {

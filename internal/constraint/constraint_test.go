@@ -111,10 +111,10 @@ func TestParseErrors(t *testing.T) {
 		"u.hours <= 40 extra",
 		"SUM(tasks.hours",
 		"SUM() <= 1",
-		"SUM(tasks) <= 1",         // SUM needs a column
-		"bareident <= 1",          // unqualified reference
-		"u.v BETWEEN 1 OR 2",      // BETWEEN needs AND
-		"u.x IN ()",               // empty IN list
+		"SUM(tasks) <= 1",    // SUM needs a column
+		"bareident <= 1",     // unqualified reference
+		"u.v BETWEEN 1 OR 2", // BETWEEN needs AND
+		"u.x IN ()",          // empty IN list
 		"SUM(tasks.h WITHIN x HOURS OF u.ts) <= 1", // bad window size
 		"SUM(tasks.h WITHIN 5 YEARS OF u.ts) <= 1", // bad unit
 	}
@@ -149,12 +149,12 @@ func TestStringRoundTrip(t *testing.T) {
 func TestEvalComparisons(t *testing.T) {
 	env := testEnv(t)
 	cases := map[string]bool{
-		"u.hours <= 40":           true,
-		"u.hours > 8":             false,
-		"u.hours >= 8":            true,
-		"u.worker = 'w1'":         true,
-		"u.worker != 'w1'":        false,
-		"u.hours BETWEEN 1 AND 8": true,
+		"u.hours <= 40":            true,
+		"u.hours > 8":              false,
+		"u.hours >= 8":             true,
+		"u.worker = 'w1'":          true,
+		"u.worker != 'w1'":         false,
+		"u.hours BETWEEN 1 AND 8":  true,
 		"u.hours BETWEEN 9 AND 20": false,
 		"u.worker IN ('w1', 'w9')": true,
 		"u.worker IN ('w2')":       false,
@@ -169,9 +169,9 @@ func TestEvalComparisons(t *testing.T) {
 func TestEvalBooleanLogic(t *testing.T) {
 	env := testEnv(t)
 	cases := map[string]bool{
-		"TRUE AND FALSE":                 false,
-		"TRUE OR FALSE":                  true,
-		"NOT FALSE":                      true,
+		"TRUE AND FALSE":                  false,
+		"TRUE OR FALSE":                   true,
+		"NOT FALSE":                       true,
 		"u.hours = 8 AND u.worker = 'w1'": true,
 		"u.hours = 9 OR u.worker = 'w1'":  true,
 		"NOT (u.hours = 8)":               false,
@@ -198,14 +198,14 @@ func TestEvalShortCircuit(t *testing.T) {
 func TestEvalArithmetic(t *testing.T) {
 	env := testEnv(t)
 	cases := map[string]bool{
-		"u.hours + 2 = 10":     true,
-		"u.hours - 10 = -2":    true,
-		"u.hours * 5 = 40":     true,
-		"u.hours / 2 = 4":      true,
-		"-u.hours = -8":        true,
-		"2 + 3 * 4 = 14":       true, // precedence
-		"(2 + 3) * 4 = 20":     true,
-		"u.hours + 0.5 = 8.5":  true, // int/float mixing
+		"u.hours + 2 = 10":    true,
+		"u.hours - 10 = -2":   true,
+		"u.hours * 5 = 40":    true,
+		"u.hours / 2 = 4":     true,
+		"-u.hours = -8":       true,
+		"2 + 3 * 4 = 14":      true, // precedence
+		"(2 + 3) * 4 = 20":    true,
+		"u.hours + 0.5 = 8.5": true, // int/float mixing
 	}
 	for src, want := range cases {
 		if got := evalSrc(t, src, env); got != want {
@@ -218,14 +218,14 @@ func TestEvalErrors(t *testing.T) {
 	env := testEnv(t)
 	srcs := []string{
 		"u.missing = 1",
-		"u.worker + 1 = 2",      // string arithmetic
-		"u.hours / 0 = 1",       // division by zero
-		"u.hours AND TRUE",      // non-boolean AND
-		"NOT u.hours",           // non-boolean NOT
-		"-u.worker = 'x'",       // negate string
-		"SUM(nope.hours) <= 1",  // unknown table
-		"SUM(tasks.nope) <= 1",  // unknown column
-		"u.worker < 5",          // incomparable kinds
+		"u.worker + 1 = 2",     // string arithmetic
+		"u.hours / 0 = 1",      // division by zero
+		"u.hours AND TRUE",     // non-boolean AND
+		"NOT u.hours",          // non-boolean NOT
+		"-u.worker = 'x'",      // negate string
+		"SUM(nope.hours) <= 1", // unknown table
+		"SUM(tasks.nope) <= 1", // unknown column
+		"u.worker < 5",         // incomparable kinds
 	}
 	for _, src := range srcs {
 		e, err := Parse(src)
@@ -241,15 +241,15 @@ func TestEvalErrors(t *testing.T) {
 func TestAggregates(t *testing.T) {
 	env := testEnv(t)
 	cases := map[string]bool{
-		"COUNT(tasks) = 4":                                     true,
-		"SUM(tasks.hours) = 65":                                true,
-		"AVG(tasks.hours) = 16.25":                             true,
-		"MIN(tasks.hours) = 5":                                 true,
-		"MAX(tasks.hours) = 30":                                true,
-		"COUNT(tasks WHERE tasks.worker = 'w1') = 3":           true,
-		"SUM(tasks.hours WHERE tasks.worker = u.worker) = 60":  true,
-		"SUM(tasks.hours WHERE tasks.platform = 'uber') = 45":  true,
-		"COUNT(tasks WHERE tasks.hours > 10) = 2":              true,
+		"COUNT(tasks) = 4":                                    true,
+		"SUM(tasks.hours) = 65":                               true,
+		"AVG(tasks.hours) = 16.25":                            true,
+		"MIN(tasks.hours) = 5":                                true,
+		"MAX(tasks.hours) = 30":                               true,
+		"COUNT(tasks WHERE tasks.worker = 'w1') = 3":          true,
+		"SUM(tasks.hours WHERE tasks.worker = u.worker) = 60": true,
+		"SUM(tasks.hours WHERE tasks.platform = 'uber') = 45": true,
+		"COUNT(tasks WHERE tasks.hours > 10) = 2":             true,
 	}
 	for src, want := range cases {
 		if got := evalSrc(t, src, env); got != want {
@@ -330,12 +330,12 @@ func TestCompileBoundRecognizesLinearForms(t *testing.T) {
 
 func TestCompileBoundRejectsNonLinear(t *testing.T) {
 	srcs := []string{
-		"u.a = 1",                     // equality, not a bound
-		"u.a <= u.b",                  // non-literal bound
-		"u.a * u.b <= 10",             // product of variables
-		"AVG(tasks.hours) <= 10",      // non-linear aggregate
-		"u.a <= 10 AND u.b <= 20",     // conjunction
-		"u.a <= 10.5",                 // float bound
+		"u.a = 1",                 // equality, not a bound
+		"u.a <= u.b",              // non-literal bound
+		"u.a * u.b <= 10",         // product of variables
+		"AVG(tasks.hours) <= 10",  // non-linear aggregate
+		"u.a <= 10 AND u.b <= 20", // conjunction
+		"u.a <= 10.5",             // float bound
 	}
 	for _, src := range srcs {
 		if _, ok := CompileBound(MustParse(src)); ok {

@@ -222,9 +222,9 @@ func TestDeriveBoundSpecFLSA(t *testing.T) {
 
 func TestDeriveBoundSpecRejectsUnsupported(t *testing.T) {
 	cases := []string{
-		"SUM(tasks.hours) <= 40",                                   // no grouping filter
-		"SUM(tasks.hours WHERE tasks.hours > 1) <= 40",             // non-equality filter
-		"SUM(tasks.hours WHERE tasks.worker = u.platform) <= 40",   // mismatched fields
+		"SUM(tasks.hours) <= 40",                                 // no grouping filter
+		"SUM(tasks.hours WHERE tasks.hours > 1) <= 40",           // non-equality filter
+		"SUM(tasks.hours WHERE tasks.worker = u.platform) <= 40", // mismatched fields
 		"SUM(tasks.hours WHERE tasks.worker = u.worker) + SUM(tasks.hours WHERE tasks.worker = u.worker) <= 40", // two aggregates
 	}
 	for _, src := range cases {
@@ -272,7 +272,7 @@ func TestStatsCountersTrackOutcomes(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		m.Submit(taskUpdate(fmt.Sprintf("t%d", i), "w1", 8, tBase()))
 	}
-	m.Submit(taskUpdate("t5", "w1", 10, tBase()))                              // rejected
+	m.Submit(taskUpdate("t5", "w1", 10, tBase()))                                // rejected
 	m.Submit(Update{ID: "bad", Table: "ghost", Key: "x", Row: nil, TS: tBase()}) // error
 	s := m.Stats()
 	if s.Submitted != 7 || s.Accepted != 5 || s.Rejected != 1 || s.Errors != 1 {

@@ -145,6 +145,7 @@ func (p *Pipeline[U]) Submit(u U) (Ticket, error) {
 		return Ticket{}, ErrPipelineClosed
 	}
 	ch := make(chan Result, 1)
+	//lint:ignore lockheld backpressure by design: Close takes the write lock, so holding the read lock across the send is what keeps lane closure from racing an in-flight enqueue
 	p.lanes[p.laneIndex(u)] <- pipeJob[U]{u: u, ch: ch}
 	return Ticket{ch: ch}, nil
 }
@@ -231,6 +232,9 @@ func SubmitConcurrent[U any](submit func(U) (Receipt, error), laneOf func(U) str
 		return SubmitSequential(submit, us)
 	}
 	p := NewPipeline(submit, laneOf, PipelineConfig{Width: width})
-	defer p.Close()
-	return p.SubmitAll(us)
+	rs, err := p.SubmitAll(us)
+	if cerr := p.Close(); err == nil {
+		err = cerr
+	}
+	return rs, err
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/bits"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -10,10 +11,12 @@ import (
 // latency distribution, taken by the Stats method of every engine. It is
 // operational observability, not part of the verification logic.
 //
-// Counters are recorded lock-free (atomics only) on the submission hot
-// path; snapshots retry until the counter set is mutually consistent, so
-// Accepted+Rejected+Errors == Submitted holds for any snapshot taken at
-// quiescence and MeanLatency never divides values from different moments.
+// Counters are recorded with atomics under a shared lock on the
+// submission hot path (concurrent recorders never serialize on each
+// other); a snapshot briefly excludes recorders, so
+// Accepted+Rejected+Errors == Submitted and Latency.Count == Submitted
+// hold for every snapshot — even one taken mid-flight — and MeanLatency
+// never divides values from different moments.
 type Stats struct {
 	Submitted int64
 	Accepted  int64
@@ -138,10 +141,18 @@ func quantile(counts *[histBuckets]int64, total int64, q float64, max time.Durat
 	return max
 }
 
-// statsRecorder is embedded by engines. Recording is lock-free; snapshots
-// use an optimistic retry loop keyed on the submitted counter, which is
-// bumped LAST in record so a stable value brackets a consistent read.
+// statsRecorder is embedded by engines. Recorders run concurrently with
+// each other — they take the mutex in shared (read) mode and update the
+// counters with atomics, so the submission hot path never serializes on a
+// sibling's record. A snapshot takes the mutex exclusively, which waits
+// out every in-flight record and blocks new ones for the few loads below;
+// that is what makes Accepted+Rejected+Errors == Submitted and
+// Latency.Count == Submitted hold for every snapshot, not just quiescent
+// ones. (A submitted-counter retry loop was tried first and torn anyway:
+// it cannot see a record that updated the histogram but had not yet
+// bumped submitted when the read began.)
 type statsRecorder struct {
+	mu        sync.RWMutex
 	submitted atomic.Int64
 	accepted  atomic.Int64
 	rejected  atomic.Int64
@@ -150,10 +161,11 @@ type statsRecorder struct {
 	hist      latencyHist
 }
 
-// record tracks one submission outcome. The submitted counter is
-// incremented last so snapshot's stability check covers the whole record.
+// record tracks one submission outcome.
 func (s *statsRecorder) record(start time.Time, r Receipt, err error) {
 	ns := time.Since(start).Nanoseconds()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	s.nanos.Add(ns)
 	s.hist.record(ns)
 	switch {
@@ -167,25 +179,16 @@ func (s *statsRecorder) record(start time.Time, r Receipt, err error) {
 	s.submitted.Add(1)
 }
 
-// snapshot returns the current counters as one consistent Stats: it
-// re-reads until no submission completed mid-read (bounded retries; under
-// sustained contention the last read is returned, which is still monotone
-// and at worst overcounts in-flight outcome/latency contributions).
+// snapshot returns the current counters as one consistent Stats.
 func (s *statsRecorder) snapshot() Stats {
-	var st Stats
-	for attempt := 0; attempt < 8; attempt++ {
-		before := s.submitted.Load()
-		st = Stats{
-			Submitted:        before,
-			Accepted:         s.accepted.Load(),
-			Rejected:         s.rejected.Load(),
-			Errors:           s.errors.Load(),
-			TotalVerifyNanos: s.nanos.Load(),
-			Latency:          s.hist.summary(),
-		}
-		if s.submitted.Load() == before {
-			break
-		}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Submitted:        s.submitted.Load(),
+		Accepted:         s.accepted.Load(),
+		Rejected:         s.rejected.Load(),
+		Errors:           s.errors.Load(),
+		TotalVerifyNanos: s.nanos.Load(),
+		Latency:          s.hist.summary(),
 	}
-	return st
 }

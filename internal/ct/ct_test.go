@@ -1,0 +1,48 @@
+package ct
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestBytesEqual(t *testing.T) {
+	cases := []struct {
+		a, b []byte
+		want bool
+	}{
+		{nil, nil, true},
+		{[]byte{}, nil, true},
+		{[]byte{1, 2, 3}, []byte{1, 2, 3}, true},
+		{[]byte{1, 2, 3}, []byte{1, 2, 4}, false},
+		{[]byte{1, 2}, []byte{1, 2, 3}, false},
+	}
+	for _, c := range cases {
+		if got := BytesEqual(c.a, c.b); got != c.want {
+			t.Errorf("BytesEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBigEqual(t *testing.T) {
+	big1 := new(big.Int).Lsh(big.NewInt(1), 513) // forces multi-word, odd byte length
+	cases := []struct {
+		a, b *big.Int
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, big.NewInt(0), false},
+		{big.NewInt(0), big.NewInt(0), true},
+		{big.NewInt(42), big.NewInt(42), true},
+		{big.NewInt(42), big.NewInt(43), false},
+		{big.NewInt(42), big.NewInt(-42), false},
+		{big.NewInt(-7), big.NewInt(-7), true},
+		{big1, new(big.Int).Set(big1), true},
+		{big1, new(big.Int).Add(big1, big.NewInt(1)), false},
+		{big.NewInt(1), big1, false}, // very different bit lengths
+	}
+	for _, c := range cases {
+		if got := BigEqual(c.a, c.b); got != c.want {
+			t.Errorf("BigEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

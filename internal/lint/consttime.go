@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// comparisonFuncPrefixes name the verification-shaped functions whose
+// big.Int equality checks run on attacker-supplied inputs: Verify*
+// (signature/proof checks), Open*/Check* (commitment openings), Equal*
+// (element equality used by the above). Range checks (Cmp with <, >) and
+// comparisons in provers or key generation are not flagged.
+var comparisonFuncPrefixes = []string{"Verify", "Open", "Equal", "Check"}
+
+// ConstTime reports non-constant-time comparisons in the crypto packages:
+// bytes.Equal anywhere (it exits at the first differing byte, the classic
+// MAC-forgery timing oracle), and equality-shaped big.Int.Cmp in
+// verification functions. The fix is crypto/subtle via prever/internal/ct
+// (ct.BytesEqual, ct.BigEqual).
+var ConstTime = &Analyzer{
+	Name: "consttime",
+	Doc:  "secret comparison that short-circuits instead of using crypto/subtle",
+	Run: func(p *Package) []Finding {
+		if !cryptoPackages[p.Path] {
+			return nil
+		}
+		var out []Finding
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				inVerifier := hasComparisonPrefix(fd.Name.Name)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						if isBytesEqual(p, n) {
+							out = append(out, p.finding(n.Pos(), "consttime",
+								"bytes.Equal short-circuits at the first differing byte; compare secrets with ct.BytesEqual (crypto/subtle)"))
+						}
+					case *ast.BinaryExpr:
+						if inVerifier && isCmpEquality(p, n) {
+							out = append(out, p.finding(n.Pos(), "consttime",
+								"big.Int.Cmp equality in %s leaks where a forged value diverges; compare with ct.BigEqual (crypto/subtle)", fd.Name.Name))
+						}
+					}
+					return true
+				})
+			}
+		}
+		return out
+	},
+}
+
+func hasComparisonPrefix(name string) bool {
+	for _, pre := range comparisonFuncPrefixes {
+		if strings.HasPrefix(name, pre) {
+			return true
+		}
+	}
+	return false
+}
+
+// isBytesEqual reports whether call is bytes.Equal(...) — resolved through
+// the type info, so a local variable named "bytes" does not trigger it.
+func isBytesEqual(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Equal" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "bytes"
+}
+
+// isCmpEquality reports whether e has the shape x.Cmp(y) == 0 or
+// x.Cmp(y) != 0 with x a *big.Int.
+func isCmpEquality(p *Package, e *ast.BinaryExpr) bool {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return false
+	}
+	call, lit := e.X, e.Y
+	if isZeroLit(call) {
+		call, lit = lit, call
+	}
+	if !isZeroLit(lit) {
+		return false
+	}
+	c, ok := call.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Cmp" {
+		return false
+	}
+	t := p.Info.TypeOf(sel.X)
+	return t != nil && strings.TrimPrefix(t.String(), "*") == "math/big.Int"
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}

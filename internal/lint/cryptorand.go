@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"strconv"
+)
+
+// CryptoRand reports any math/rand import inside the crypto packages.
+// Blinding factors, commitment randomness, key material, and PIR masks are
+// only as unpredictable as their source; a math/rand stream is seedable
+// and fully recoverable from a few outputs, which would let the authority
+// unblind tokens or an adversary open commitments. Simulation packages
+// (netsim, workload, bench) legitimately use math/rand for reproducible
+// runs and are out of scope.
+var CryptoRand = &Analyzer{
+	Name: "cryptorand",
+	Doc:  "math/rand used in a crypto package where crypto/rand is required",
+	Run: func(p *Package) []Finding {
+		if !cryptoPackages[p.Path] {
+			return nil
+		}
+		var out []Finding
+		for _, file := range p.Files {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					out = append(out, p.finding(imp.Pos(), "cryptorand",
+						"crypto package imports %s; secrets need crypto/rand, a deterministic stream lets the adversary replay blinding factors and openings", path))
+				}
+			}
+		}
+		return out
+	},
+}

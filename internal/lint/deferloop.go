@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// releaseMethods are resource releases whose deferral inside a loop is a
+// leak: the defers stack up and run only at function return, so iteration
+// N+1 runs with iteration N's mutex still locked or file still open.
+var releaseMethods = map[string]bool{
+	"Unlock":  true,
+	"RUnlock": true,
+	"Close":   true,
+	"Done":    true,
+}
+
+// DeferLoop reports defer of a resource-releasing call inside a loop.
+// A defer inside a function literal inside the loop is fine — the literal
+// is its own frame and its defers run when it returns each iteration.
+var DeferLoop = &Analyzer{
+	Name: "deferloop",
+	Doc:  "defer of Unlock/Close/Done inside a loop runs only at function return",
+	Run: func(p *Package) []Finding {
+		var out []Finding
+		forEachFunc(p, func(body *ast.BlockStmt) {
+			var stack []ast.Node
+			ast.Inspect(body, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if _, ok := n.(*ast.FuncLit); ok {
+					// Literals are visited as their own frame by forEachFunc.
+					return false
+				}
+				if d, ok := n.(*ast.DeferStmt); ok && inLoop(stack) {
+					if sel, ok := d.Call.Fun.(*ast.SelectorExpr); ok && releaseMethods[sel.Sel.Name] {
+						out = append(out, p.finding(d.Pos(), "deferloop",
+							"defer %s.%s() inside a loop releases nothing until the function returns; unlock/close at the end of each iteration instead",
+							types.ExprString(sel.X), sel.Sel.Name))
+					}
+				}
+				stack = append(stack, n)
+				return true
+			})
+		})
+		return out
+	},
+}
+
+// inLoop reports whether the innermost enclosing frame contains a loop
+// above this node (function literals cut the search).
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errCriticalNames are the mutation entry points whose error carries the
+// outcome the caller exists to produce: Submit* (engine intake — a dropped
+// error silently loses an update), Close (flush/drain failures), and the
+// store/ledger/token mutations. The type checker gates the name match: a
+// call is only flagged if its result tuple actually contains an error, so
+// merkle.Tree.Append (returns int) or netsim.Network.Close (returns
+// nothing) never trigger.
+func errCriticalName(name string) bool {
+	if strings.HasPrefix(name, "Submit") {
+		return true
+	}
+	switch name {
+	case "Close", "Put", "Delete", "Append", "MarkSpent", "Finalize", "Spend", "Flush", "Sync":
+		return true
+	}
+	return false
+}
+
+// ErrIgnored reports calls to error-critical mutation methods whose error
+// result is silently discarded: a bare call statement, `defer x.Close()`,
+// or `go x.Submit(...)`. Assigning the error — including an explicit
+// `_ =`, which documents the decision at the call site — is accepted.
+var ErrIgnored = &Analyzer{
+	Name: "errignored",
+	Doc:  "discarded error from Submit/Close/store mutation calls",
+	Run: func(p *Package) []Finding {
+		var out []Finding
+		check := func(call *ast.CallExpr, how string) {
+			name := calleeName(call)
+			if name == "" || !errCriticalName(name) {
+				return
+			}
+			if !returnsError(p, call) {
+				return
+			}
+			out = append(out, p.finding(call.Pos(), "errignored",
+				"%s of %s discards its error; assign and handle it (or discard explicitly with _ =)", how, name))
+		}
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						check(call, "call")
+					}
+				case *ast.DeferStmt:
+					check(n.Call, "deferred call")
+				case *ast.GoStmt:
+					check(n.Call, "go call")
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	case *ast.Ident:
+		return f.Name
+	}
+	return ""
+}
+
+// returnsError reports whether the call's result tuple contains an error.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"strings"
+)
+
+const ignorePrefix = "//lint:ignore"
+
+// ignoreIndex records, per file and line, which analyzers are suppressed.
+// A directive suppresses matching findings on its own line and on the line
+// directly below it (the idiomatic placement: a comment line above the
+// offending statement).
+type ignoreIndex map[string]map[int]map[string]bool
+
+func (ix ignoreIndex) add(file string, line int, analyzer string) {
+	if ix[file] == nil {
+		ix[file] = make(map[int]map[string]bool)
+	}
+	if ix[file][line] == nil {
+		ix[file][line] = make(map[string]bool)
+	}
+	ix[file][line][analyzer] = true
+}
+
+func (ix ignoreIndex) suppresses(f Finding) bool {
+	lines := ix[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[f.Pos.Line][f.Analyzer] || lines[f.Pos.Line-1][f.Analyzer]
+}
+
+// collectIgnores scans a package's comments for //lint:ignore directives.
+// Malformed directives — no analyzer list, an unknown analyzer name, or a
+// missing reason — are returned as findings so they fail the build instead
+// of silently suppressing nothing.
+func collectIgnores(p *Package, known map[string]bool) (ignoreIndex, []Finding) {
+	ix := make(ignoreIndex)
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignorefoo — not our directive
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, p.finding(c.Pos(), "lint",
+						"malformed ignore directive: want //lint:ignore <analyzer>[,<analyzer>...] <reason>"))
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				ok := true
+				for _, name := range names {
+					if !known[name] {
+						bad = append(bad, p.finding(c.Pos(), "lint",
+							"ignore directive names unknown analyzer %q", name))
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				for _, name := range names {
+					ix.add(pos.Filename, pos.Line, name)
+				}
+			}
+		}
+	}
+	return ix, bad
+}

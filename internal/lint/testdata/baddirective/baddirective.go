@@ -1,0 +1,25 @@
+// Package baddirective is the fixture for ignore-directive hygiene: a
+// directive without a reason and a directive naming an unknown analyzer
+// are themselves findings, and suppress nothing.
+package baddirective
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func missingReason(b *box) {
+	b.mu.Lock()
+	//lint:ignore lockheld
+	b.ch <- 1
+	b.mu.Unlock()
+}
+
+func unknownAnalyzer(b *box) {
+	b.mu.Lock()
+	//lint:ignore nosuchanalyzer the name is wrong so this cannot apply
+	b.ch <- 1
+	b.mu.Unlock()
+}

@@ -1,0 +1,56 @@
+// Package consttime is the analyzer fixture for consttime:
+// short-circuiting comparisons in crypto packages. bytes.Equal is flagged
+// anywhere in the package; equality-shaped big.Int.Cmp only inside
+// verification-shaped functions (Verify*/Open*/Equal*/Check*).
+package consttime
+
+import (
+	"bytes"
+	"math/big"
+)
+
+// VerifyMAC compares attacker-supplied values both ways.
+func VerifyMAC(mac, want []byte, x, y *big.Int) bool {
+	if bytes.Equal(mac, want) { // want consttime
+		return true
+	}
+	return x.Cmp(y) == 0 // want consttime
+}
+
+// CheckOpening uses the != form with the literal on the left.
+func CheckOpening(a, b *big.Int) bool {
+	return 0 != a.Cmp(b) // want consttime
+}
+
+// Audit is not verification-shaped, but bytes.Equal is flagged anywhere
+// in a crypto package.
+func Audit(a, b []byte) bool {
+	return bytes.Equal(a, b) // want consttime
+}
+
+// VerifyBound: range comparisons are ordering, not equality — silent.
+func VerifyBound(v, bound *big.Int) bool {
+	return v.Sign() >= 0 && v.Cmp(bound) <= 0
+}
+
+// proveHelper: prover-side equality on the prover's own values — silent.
+func proveHelper(a, b *big.Int) bool {
+	return a.Cmp(b) == 0
+}
+
+type fakeBytes struct{}
+
+func (fakeBytes) Equal(a, b []byte) bool { return len(a) == len(b) }
+
+// VerifyShadow: a local named "bytes" is not the bytes package; the
+// analyzer resolves through the type info — silent.
+func VerifyShadow(a, b []byte) bool {
+	var bytes fakeBytes
+	return bytes.Equal(a, b)
+}
+
+// AuditSuppressed documents a reviewed exception.
+func AuditSuppressed(a, b []byte) bool {
+	//lint:ignore consttime fixture: operands are public replica data
+	return bytes.Equal(a, b)
+}

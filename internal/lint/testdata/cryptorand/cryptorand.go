@@ -1,0 +1,27 @@
+// Package cryptorand is the analyzer fixture for cryptorand: math/rand
+// imports inside crypto packages. The driver test loads this directory
+// once under a crypto import path (findings expected) and once under a
+// neutral path (silent), proving the scoping.
+package cryptorand
+
+import (
+	crand "crypto/rand"
+	"math/rand" // want cryptorand
+	//lint:ignore cryptorand fixture: reviewed deterministic jitter
+	mrand2 "math/rand/v2"
+)
+
+// Nonce draws proper randomness: never flagged.
+func Nonce() []byte {
+	b := make([]byte, 16)
+	if _, err := crand.Read(b); err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Jitter uses the flagged import.
+func Jitter() int { return rand.Intn(10) }
+
+// Jitter2 uses the suppressed import.
+func Jitter2() int { return mrand2.IntN(10) }

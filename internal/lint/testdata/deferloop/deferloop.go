@@ -1,0 +1,70 @@
+// Package deferloop is the analyzer fixture for deferloop: defers of
+// resource releases inside loops, which stack up until function return.
+package deferloop
+
+import "sync"
+
+type item struct{ mu sync.Mutex }
+
+type handle struct{}
+
+func (*handle) Close() error { return nil }
+
+// lockStep holds every previous iteration's lock: deadlock bait.
+func lockStep(items []*item) {
+	for _, it := range items {
+		it.mu.Lock()
+		defer it.mu.Unlock() // want deferloop
+	}
+}
+
+// closeLate leaks every handle until the function returns.
+func closeLate(n int, open func(int) *handle) {
+	for i := 0; i < n; i++ {
+		h := open(i)
+		defer h.Close() // want deferloop
+		_ = h
+	}
+}
+
+// nestedLoop: the defer is inside the inner range body.
+func nestedLoop(groups [][]*item) {
+	for _, g := range groups {
+		for _, it := range g {
+			it.mu.Lock()
+			defer it.mu.Unlock() // want deferloop
+		}
+	}
+}
+
+// lockOnce: function-scope defer is the idiom — silent.
+func lockOnce(it *item) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+}
+
+// lockEach releases per iteration via a function literal — silent.
+func lockEach(items []*item) {
+	for _, it := range items {
+		func() {
+			it.mu.Lock()
+			defer it.mu.Unlock()
+		}()
+	}
+}
+
+// record: a non-release defer in a loop is someone else's business — silent.
+func record(ns []int, note func(int)) {
+	for _, n := range ns {
+		defer note(n)
+	}
+}
+
+// suppressed documents a reviewed exception.
+func suppressed(items []*item) {
+	for _, it := range items {
+		it.mu.Lock()
+		//lint:ignore deferloop fixture: caller guarantees a single item
+		defer it.mu.Unlock()
+	}
+}

@@ -1,0 +1,49 @@
+// Package errignored is the analyzer fixture for errignored: mutation
+// entry points (Submit*, Close, Put, ...) whose error result is silently
+// discarded. The type checker gates the name match: same-named methods
+// without an error in their results never trigger.
+package errignored
+
+import "errors"
+
+type engine struct{}
+
+func (engine) Submit(v int) (int, error)    { return v, nil }
+func (engine) SubmitBatch(vs []int) error   { return nil }
+func (engine) Close() error                 { return errors.New("dirty") }
+func (engine) Put(k string, v []byte) error { return nil }
+
+type counter struct{}
+
+// Same names, no error results: the void lookalikes below stay silent.
+func (counter) Put(k string, v []byte) int { return 0 }
+func (counter) Close()                     {}
+
+func discards(e engine) {
+	e.Submit(1)        // want errignored
+	e.SubmitBatch(nil) // want errignored
+	defer e.Close()    // want errignored
+	go e.Put("k", nil) // want errignored
+}
+
+func handles(e engine) error {
+	if _, err := e.Submit(1); err != nil {
+		return err
+	}
+	_ = e.SubmitBatch(nil) // explicit discard is accepted
+	return e.Close()
+}
+
+func voidLookalikes(c counter) {
+	c.Put("k", nil)
+	c.Close()
+}
+
+func suppressedAbove(e engine) {
+	//lint:ignore errignored fixture: error cannot occur here
+	e.Close()
+}
+
+func suppressedSameLine(e engine) {
+	e.Close() //lint:ignore errignored fixture: same-line directive
+}

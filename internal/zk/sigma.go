@@ -26,6 +26,7 @@ import (
 	"math/big"
 
 	"prever/internal/commit"
+	"prever/internal/ct"
 	"prever/internal/group"
 )
 
@@ -60,7 +61,9 @@ func VerifyDlog(g *group.Group, base, y *big.Int, p DlogProof, ctx string) error
 	c := dlogChallenge(g, base, y, p.A, ctx)
 	lhs := g.Exp(base, p.Z)
 	rhs := g.Mul(p.A, g.Exp(y, c))
-	if lhs.Cmp(rhs) != 0 {
+	// Constant-time: verifiers run on attacker-supplied proofs, and an
+	// early-exit compare would leak how much of a forgery matched.
+	if !ct.BigEqual(lhs, rhs) {
 		return ErrInvalidProof
 	}
 	return nil
@@ -108,7 +111,8 @@ func VerifyOpening(p *commit.Params, c commit.Commitment, pr OpeningProof, ctx s
 	ch := openingChallenge(p, c, pr.A, ctx)
 	lhs := g.Mul(p.ExpG(pr.Z1), p.ExpH(pr.Z2))
 	rhs := g.Mul(pr.A, g.Exp(c.C, ch))
-	if lhs.Cmp(rhs) != 0 {
+	// Constant-time compare of verification equation (see VerifyDlog).
+	if !ct.BigEqual(lhs, rhs) {
 		return ErrInvalidProof
 	}
 	return nil
@@ -164,8 +168,8 @@ func ProveBit(p *commit.Params, c commit.Commitment, o commit.Opening, ctx strin
 	if !o.M.IsInt64() || (o.M.Int64() != 0 && o.M.Int64() != 1) {
 		return BitProof{}, fmt.Errorf("zk: message %v is not a bit", o.M)
 	}
-	y0 := new(big.Int).Set(c.C)       // statement for bit 0: y0 = h^r
-	y1 := g.Div(c.C, p.G)             // statement for bit 1: y1 = h^r
+	y0 := new(big.Int).Set(c.C) // statement for bit 0: y0 = h^r
+	y1 := g.Div(c.C, p.G)       // statement for bit 1: y1 = h^r
 	var proof BitProof
 	// Simulate the false branch, run the real protocol on the true branch.
 	simC, err := g.RandScalar(rng)
@@ -215,7 +219,9 @@ func VerifyBit(p *commit.Params, c commit.Commitment, pr BitProof, ctx string) e
 	ch := bitChallenge(p, c, pr.A0, pr.A1, ctx)
 	sum := new(big.Int).Add(pr.C0, pr.C1)
 	sum.Mod(sum, g.Q)
-	if sum.Cmp(ch) != 0 {
+	// Constant-time compares of the challenge split and both verification
+	// equations (see VerifyDlog).
+	if !ct.BigEqual(sum, ch) {
 		return ErrInvalidProof
 	}
 	y0 := new(big.Int).Set(c.C)
@@ -223,12 +229,12 @@ func VerifyBit(p *commit.Params, c commit.Commitment, pr BitProof, ctx string) e
 	// h^z0 == A0 · y0^c0
 	lhs0 := p.ExpH(pr.Z0)
 	rhs0 := g.Mul(pr.A0, g.Exp(y0, pr.C0))
-	if lhs0.Cmp(rhs0) != 0 {
+	if !ct.BigEqual(lhs0, rhs0) {
 		return ErrInvalidProof
 	}
 	lhs1 := p.ExpH(pr.Z1)
 	rhs1 := g.Mul(pr.A1, g.Exp(y1, pr.C1))
-	if lhs1.Cmp(rhs1) != 0 {
+	if !ct.BigEqual(lhs1, rhs1) {
 		return ErrInvalidProof
 	}
 	return nil
@@ -314,7 +320,9 @@ func VerifyRange(p *commit.Params, c commit.Commitment, nBits int, pr RangeProof
 		recomposed = g.Mul(recomposed, g.Exp(ci.C, weight))
 	}
 	// The weighted product must equal the target commitment exactly.
-	if recomposed.Cmp(c.C) != 0 {
+	// Constant-time: the recomposition check runs on attacker-supplied bit
+	// commitments (see VerifyDlog).
+	if !ct.BigEqual(recomposed, c.C) {
 		return ErrInvalidProof
 	}
 	return nil
