@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-json vet fmt fmt-check lint
+.PHONY: build test check race bench bench-json vet fmt fmt-check lint chaos
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ fmt-check:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the randomized fault-injection suite (internal/chaos) under
+# the race detector. Each test logs its schedule seed; replay a failing
+# run with CHAOS_SEED=<seed> make chaos.
+chaos:
+	$(GO) test -race -count=1 -v ./internal/chaos
 
 # check is the CI gate: formatting, static analysis (go vet plus the
 # project analyzers), then the full suite under the race detector (the

@@ -560,6 +560,110 @@ func E4Consensus(scale Scale) (*Table, error) {
 		t.AddRow("pbft", fmt.Sprintf("batch=%d", batch), fmt.Sprint(n), perOp(ops, elapsed), opsRate(ops, elapsed))
 	}
 
+	// Faulty-network variants: duplicated and reordered delivery (fixed
+	// seed), driven through the failover clients, with a follower crash
+	// at the halfway mark and a restart (plus catch-up sync) at 3/4.
+	faultyCfg := netsim.Config{
+		DuplicateRate: 0.05,
+		ReorderRate:   0.1,
+		ReorderDelay:  time.Millisecond,
+		Seed:          42,
+	}
+	{
+		net := netsim.New(faultyCfg)
+		const n = 5
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("r%d", i)
+		}
+		var replicas []*paxos.Replica
+		for _, id := range ids {
+			r, err := paxos.NewReplica(net, id, ids, nil)
+			if err != nil {
+				net.Close()
+				return nil, err
+			}
+			replicas = append(replicas, r)
+		}
+		if err := replicas[0].BecomeLeader(10 * time.Second); err != nil {
+			net.Close()
+			return nil, err
+		}
+		client, err := paxos.NewClient(net, replicas, paxos.ClientOptions{})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		follower := replicas[n-1]
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			switch i {
+			case ops / 2:
+				if err := follower.Crash(); err != nil {
+					net.Close()
+					return nil, err
+				}
+			case ops * 3 / 4:
+				if err := follower.Restart(); err != nil {
+					net.Close()
+					return nil, err
+				}
+			}
+			if _, err := client.Propose(val, 10*time.Second); err != nil {
+				net.Close()
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		net.Close()
+		t.AddRow("paxos", "faulty link", fmt.Sprint(n), perOp(ops, elapsed), opsRate(ops, elapsed))
+	}
+	{
+		net := netsim.New(faultyCfg)
+		const f, n = 1, 4
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("p%d", i)
+		}
+		var replicas []*pbft.Replica
+		for _, id := range ids {
+			r, err := pbft.NewReplica(net, id, ids, f, nil, pbft.Options{})
+			if err != nil {
+				net.Close()
+				return nil, err
+			}
+			replicas = append(replicas, r)
+		}
+		client, err := pbft.NewClient(net, replicas, "bench-faulty", pbft.ClientOptions{})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		follower := replicas[n-1] // backup: the view-0 primary stays up
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			switch i {
+			case ops / 2:
+				if err := follower.Crash(); err != nil {
+					net.Close()
+					return nil, err
+				}
+			case ops * 3 / 4:
+				if err := follower.Restart(); err != nil {
+					net.Close()
+					return nil, err
+				}
+			}
+			if err := client.Submit(val, 10*time.Second); err != nil {
+				net.Close()
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		net.Close()
+		t.AddRow("pbft", "faulty link", fmt.Sprint(n), perOp(ops, elapsed), opsRate(ops, elapsed))
+	}
+
 	// Sharded chain: 1 and 2 shards, all-local transactions, then 10%
 	// cross-shard.
 	for _, shards := range []int{1, 2} {

@@ -279,6 +279,7 @@ type Shard struct {
 	Name     string
 	peers    []*Peer
 	replicas []*pbft.Replica
+	client   *pbft.Client
 	seq      atomic.Uint64
 	timeout  time.Duration
 }
@@ -337,31 +338,31 @@ func NewShard(net *netsim.Network, cfg ShardConfig) (*Shard, error) {
 		}
 		s.replicas = append(s.replicas, replica)
 	}
+	client, err := pbft.NewClient(net, s.replicas, "chain/"+cfg.Name, pbft.ClientOptions{})
+	if err != nil {
+		return nil, err
+	}
+	s.client = client
 	return s, nil
 }
 
 // Peers returns the shard's peers.
 func (s *Shard) Peers() []*Peer { return s.peers }
 
-// Primary returns the replica currently acting as primary (for submits).
-func (s *Shard) primaryReplica() *pbft.Replica {
-	want := s.replicas[0].Primary()
-	for _, r := range s.replicas {
-		if r.ID() == want {
-			return r
-		}
-	}
-	return s.replicas[0]
-}
+// Replicas returns the shard's PBFT replicas, for fault injection in
+// tests and benchmarks (Crash/Restart/Sync).
+func (s *Shard) Replicas() []*pbft.Replica { return s.replicas }
 
 // Submit orders a transaction through consensus and blocks until it
-// commits on the primary.
+// commits. Submission goes through the failover client, so a crashed or
+// demoted primary is ridden out by retrying into the new view; the
+// cluster's client-sequence dedup keeps retried transactions
+// exactly-once.
 func (s *Shard) Submit(tx Tx) error {
 	if tx.ID == "" {
 		tx.ID = fmt.Sprintf("%s-tx-%d", s.Name, s.seq.Add(1))
 	}
-	op := txBytes(tx)
-	return s.primaryReplica().Submit("chain/"+s.Name, s.seq.Add(1), op, s.timeout)
+	return s.client.Submit(txBytes(tx), s.timeout)
 }
 
 // SubmitPrivate distributes a private value to collection members

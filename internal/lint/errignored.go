@@ -8,17 +8,20 @@ import (
 
 // errCriticalNames are the mutation entry points whose error carries the
 // outcome the caller exists to produce: Submit* (engine intake — a dropped
-// error silently loses an update), Close (flush/drain failures), and the
-// store/ledger/token mutations. The type checker gates the name match: a
-// call is only flagged if its result tuple actually contains an error, so
-// merkle.Tree.Append (returns int) or netsim.Network.Close (returns
-// nothing) never trigger.
+// error silently loses an update), Close (flush/drain failures), the
+// store/ledger/token mutations, and the consensus retry/failover surface
+// (Propose, BecomeLeader, Crash, Restart — an ignored error there means a
+// value that never committed or a fault that was never injected). The
+// type checker gates the name match: a call is only flagged if its result
+// tuple actually contains an error, so merkle.Tree.Append (returns int)
+// or netsim.Network.Close (returns nothing) never trigger.
 func errCriticalName(name string) bool {
 	if strings.HasPrefix(name, "Submit") {
 		return true
 	}
 	switch name {
-	case "Close", "Put", "Delete", "Append", "MarkSpent", "Finalize", "Spend", "Flush", "Sync":
+	case "Close", "Put", "Delete", "Append", "MarkSpent", "Finalize", "Spend", "Flush", "Sync",
+		"Propose", "BecomeLeader", "Crash", "Restart":
 		return true
 	}
 	return false

@@ -47,3 +47,43 @@ func suppressedAbove(e engine) {
 func suppressedSameLine(e engine) {
 	e.Close() //lint:ignore errignored fixture: same-line directive
 }
+
+// consensus mirrors the retry/failover surface of the paxos and pbft
+// replicas and clients.
+type consensus struct{}
+
+func (consensus) Propose(v []byte) (uint64, error) { return 0, nil }
+func (consensus) BecomeLeader() error              { return nil }
+func (consensus) Crash() error                     { return nil }
+func (consensus) Restart() error                   { return nil }
+
+// sim has same-named methods without error results: never flagged.
+type sim struct{}
+
+func (sim) Propose(v []byte) uint64 { return 0 }
+func (sim) Crash()                  {}
+func (sim) Restart()                {}
+
+func discardsConsensus(c consensus) {
+	c.Propose(nil)   // want errignored
+	c.BecomeLeader() // want errignored
+	c.Crash()        // want errignored
+	go c.Restart()   // want errignored
+}
+
+func handlesConsensus(c consensus) error {
+	if _, err := c.Propose(nil); err != nil {
+		return err
+	}
+	if err := c.BecomeLeader(); err != nil {
+		return err
+	}
+	_ = c.Crash() // explicit discard is accepted
+	return c.Restart()
+}
+
+func consensusVoidLookalikes(s sim) {
+	s.Propose(nil)
+	s.Crash()
+	s.Restart()
+}

@@ -1,12 +1,18 @@
 // Package netsim provides an in-process simulated network for PReVer's
 // distributed substrates (Paxos, PBFT, MPC). Nodes register handlers;
 // messages are delivered asynchronously with configurable latency, jitter,
-// drop probability, and partitions, so protocol implementations are
+// drop probability, duplication, reordering, partitions, per-link
+// overrides, and node crash/restart, so protocol implementations are
 // exercised against realistic (mis)behaviour without real sockets.
 //
 // Each node's handler runs on a single dedicated goroutine, so a node never
 // processes two messages concurrently — the same execution model as a
 // single-threaded event loop per replica.
+//
+// Fault injection is seeded: with Config.Seed set, every drop, duplicate,
+// and reorder decision is drawn from one deterministic stream, so a failing
+// chaos schedule reproduces from its logged seed (up to goroutine
+// interleaving, which the runtime controls).
 package netsim
 
 import (
@@ -30,11 +36,23 @@ type Handler func(Message)
 
 // Config tunes the simulated link behaviour.
 type Config struct {
-	Latency  time.Duration // base one-way delay
-	Jitter   time.Duration // uniform extra delay in [0, Jitter)
-	DropRate float64       // probability a message is silently dropped
-	Seed     int64         // RNG seed for jitter/drops (0 = time-based)
-	Buffer   int           // per-node inbox size (default 1024)
+	Latency       time.Duration // base one-way delay
+	Jitter        time.Duration // uniform extra delay in [0, Jitter)
+	DropRate      float64       // probability a message is silently dropped
+	DuplicateRate float64       // probability a message is delivered twice
+	ReorderRate   float64       // probability a message is held back by ReorderDelay
+	ReorderDelay  time.Duration // extra delay for reordered messages (default 1ms)
+	Seed          int64         // RNG seed for all fault decisions (0 = time-based)
+	Buffer        int           // per-node inbox size (default 1024)
+}
+
+// LinkConfig overrides delay and loss for one directed (from, to) link,
+// replacing the network-wide Latency/Jitter/DropRate for that link.
+// Duplication and reordering remain global.
+type LinkConfig struct {
+	Latency  time.Duration
+	Jitter   time.Duration
+	DropRate float64
 }
 
 // Network is the hub all nodes attach to. Safe for concurrent use.
@@ -44,6 +62,7 @@ type Network struct {
 	mu        sync.RWMutex
 	nodes     map[string]*node
 	partition map[string]int // node -> partition group; absent = group 0
+	links     map[[2]string]LinkConfig
 	closed    bool
 
 	rngMu sync.Mutex
@@ -56,16 +75,24 @@ type Network struct {
 	wg sync.WaitGroup
 }
 
+// node is one attachment generation. Crash closes the inbox and marks the
+// node crashed; Restart installs a fresh node struct under the same id, so
+// goroutines and in-flight deliveries bound to the old generation can never
+// leak messages into the new one.
 type node struct {
 	id      string
 	inbox   chan Message
 	handler Handler
+	crashed atomic.Bool
 }
 
 // New creates a network with the given link configuration.
 func New(cfg Config) *Network {
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 1024
+	}
+	if cfg.ReorderRate > 0 && cfg.ReorderDelay <= 0 {
+		cfg.ReorderDelay = time.Millisecond
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -75,6 +102,7 @@ func New(cfg Config) *Network {
 		cfg:       cfg,
 		nodes:     make(map[string]*node),
 		partition: make(map[string]int),
+		links:     make(map[[2]string]LinkConfig),
 		rng:       rand.New(rand.NewSource(seed)),
 	}
 }
@@ -90,16 +118,95 @@ func (n *Network) Register(id string, h Handler) error {
 	if _, dup := n.nodes[id]; dup {
 		return fmt.Errorf("netsim: node %q already registered", id)
 	}
+	n.attachLocked(id, h)
+	return nil
+}
+
+// attachLocked installs a fresh node generation and starts its handler
+// goroutine. Caller holds the write lock.
+func (n *Network) attachLocked(id string, h Handler) {
 	nd := &node{id: id, inbox: make(chan Message, n.cfg.Buffer), handler: h}
 	n.nodes[id] = nd
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
 		for msg := range nd.inbox {
+			if nd.crashed.Load() {
+				continue // crash discards everything still queued
+			}
 			nd.handler(msg)
 		}
 	}()
+}
+
+// Crash detaches a node: queued and in-flight messages to it are discarded,
+// and until Restart it neither receives nor sends. The handler goroutine
+// exits. Crashing an unknown or already-crashed node returns an error.
+func (n *Network) Crash(id string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return fmt.Errorf("netsim: network closed")
+	}
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("netsim: crash of unknown node %q", id)
+	}
+	if nd.crashed.Load() {
+		return fmt.Errorf("netsim: node %q already crashed", id)
+	}
+	nd.crashed.Store(true)
+	close(nd.inbox)
 	return nil
+}
+
+// Restart reattaches a crashed node with a (possibly new) handler. The node
+// rejoins with an empty inbox; messages sent while it was down are lost, as
+// after a real process restart.
+func (n *Network) Restart(id string, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return fmt.Errorf("netsim: network closed")
+	}
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("netsim: restart of unknown node %q", id)
+	}
+	if !nd.crashed.Load() {
+		return fmt.Errorf("netsim: node %q is not crashed", id)
+	}
+	n.attachLocked(id, h)
+	return nil
+}
+
+// Alive reports whether a node is registered and not crashed.
+func (n *Network) Alive(id string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	nd, ok := n.nodes[id]
+	return ok && !nd.crashed.Load()
+}
+
+// Closed reports whether the network has been shut down.
+func (n *Network) Closed() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.closed
+}
+
+// SetLink overrides latency/jitter/drop for the directed link from -> to.
+func (n *Network) SetLink(from, to string, lc LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]string{from, to}] = lc
+}
+
+// ClearLink removes a per-link override.
+func (n *Network) ClearLink(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.links, [2]string{from, to})
 }
 
 // Nodes returns the registered node ids.
@@ -113,8 +220,9 @@ func (n *Network) Nodes() []string {
 	return out
 }
 
-// Send delivers a message asynchronously, applying latency, drops, and
-// partitions. Sending to an unknown node or across a partition silently
+// Send delivers a message asynchronously, applying latency, drops,
+// duplication, reordering, partitions, and crashes. Sending to an unknown
+// or crashed node, from a crashed node, or across a partition silently
 // drops (as a real network would).
 func (n *Network) Send(msg Message) {
 	n.sent.Add(1)
@@ -124,44 +232,68 @@ func (n *Network) Send(msg Message) {
 		n.dropped.Add(1)
 		return
 	}
+	if src, ok := n.nodes[msg.From]; ok && src.crashed.Load() {
+		n.mu.RUnlock()
+		n.dropped.Add(1)
+		return
+	}
 	dst, ok := n.nodes[msg.To]
 	sameSide := n.partition[msg.From] == n.partition[msg.To]
+	link, hasLink := n.links[[2]string{msg.From, msg.To}]
 	n.mu.RUnlock()
-	if !ok || !sameSide {
+	if !ok || !sameSide || dst.crashed.Load() {
 		n.dropped.Add(1)
 		return
 	}
-	if n.cfg.DropRate > 0 && n.randFloat() < n.cfg.DropRate {
+	dropRate := n.cfg.DropRate
+	latency, jitter := n.cfg.Latency, n.cfg.Jitter
+	if hasLink {
+		dropRate, latency, jitter = link.DropRate, link.Latency, link.Jitter
+	}
+	if dropRate > 0 && n.randFloat() < dropRate {
 		n.dropped.Add(1)
 		return
 	}
-	delay := n.cfg.Latency
-	if n.cfg.Jitter > 0 {
-		delay += time.Duration(n.randInt63(int64(n.cfg.Jitter)))
+	copies := 1
+	if n.cfg.DuplicateRate > 0 && n.randFloat() < n.cfg.DuplicateRate {
+		copies = 2
 	}
-	deliver := func() {
-		// Re-check closed under the read lock: Close closes inboxes while
-		// holding the write lock, so a send can never race the close. The
-		// send is non-blocking, so the lock is held only momentarily.
-		n.mu.RLock()
-		defer n.mu.RUnlock()
-		if n.closed {
-			n.dropped.Add(1)
-			return
+	for i := 0; i < copies; i++ {
+		delay := latency
+		if jitter > 0 {
+			delay += time.Duration(n.randInt63(int64(jitter)))
 		}
-		select {
-		case dst.inbox <- msg:
-			n.delivered.Add(1)
-		default:
-			// Inbox overflow models a congested replica.
-			n.dropped.Add(1)
+		if n.cfg.ReorderRate > 0 && n.randFloat() < n.cfg.ReorderRate {
+			delay += n.cfg.ReorderDelay
 		}
+		if delay <= 0 {
+			n.deliver(dst, msg)
+			continue
+		}
+		time.AfterFunc(delay, func() { n.deliver(dst, msg) })
 	}
-	if delay <= 0 {
-		deliver()
+}
+
+// deliver hands a message to the destination inbox. It re-checks closed,
+// crashed, and the partition map under the read lock: all three can change
+// while the message sits in its delay window, and a message must not cross
+// a partition (or reach a crashed node) created while it was in flight.
+// Close and Crash mutate under the write lock, so the non-blocking send can
+// never race a channel close.
+func (n *Network) deliver(dst *node, msg Message) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.closed || dst.crashed.Load() || n.partition[msg.From] != n.partition[msg.To] {
+		n.dropped.Add(1)
 		return
 	}
-	time.AfterFunc(delay, deliver)
+	select {
+	case dst.inbox <- msg:
+		n.delivered.Add(1)
+	default:
+		// Inbox overflow models a congested replica.
+		n.dropped.Add(1)
+	}
 }
 
 // Broadcast sends msg to every registered node except the sender.
@@ -199,7 +331,8 @@ func (n *Network) Heal() {
 	n.partition = make(map[string]int)
 }
 
-// Stats reports message counters: sent, delivered, dropped.
+// Stats reports message counters: sent, delivered, dropped. A duplicated
+// message counts once as sent and once per delivered copy.
 func (n *Network) Stats() (sent, delivered, dropped int64) {
 	return n.sent.Load(), n.delivered.Load(), n.dropped.Load()
 }
@@ -221,7 +354,9 @@ func (n *Network) Close() {
 	}
 	n.closed = true
 	for _, nd := range n.nodes {
-		close(nd.inbox)
+		if !nd.crashed.Load() {
+			close(nd.inbox)
+		}
 	}
 	n.mu.Unlock()
 	n.wg.Wait()

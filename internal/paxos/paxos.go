@@ -11,6 +11,7 @@
 package paxos
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,6 +20,12 @@ import (
 
 	"prever/internal/netsim"
 )
+
+// ErrSlotLost reports that the slot a Propose call was waiting on was
+// chosen with a different value (a leader turnover re-proposed or no-op
+// filled the slot). The caller's value was NOT committed in that slot and
+// may be retried safely.
+var ErrSlotLost = errors.New("paxos: slot lost to a competing proposal")
 
 // Ballot orders leadership claims: higher N wins, ties broken by ID.
 type Ballot struct {
@@ -41,6 +48,8 @@ const (
 	msgAccept   = "paxos/accept"
 	msgAccepted = "paxos/accepted"
 	msgLearn    = "paxos/learn"
+	msgSyncReq  = "paxos/syncreq"
+	msgSyncRep  = "paxos/syncrep"
 )
 
 type slotValue struct {
@@ -74,9 +83,29 @@ type learnMsg struct {
 	Value []byte `json:"value"`
 }
 
+// syncReqMsg asks peers for chosen values from slot From upward (learner
+// anti-entropy; sent on restart and on demand via Sync).
+type syncReqMsg struct {
+	From uint64 `json:"from"`
+}
+
+type syncRepMsg struct {
+	Entries []learnMsg `json:"entries,omitempty"`
+}
+
 // Applier is called with each chosen value, in slot order, exactly once
-// per replica.
+// per replica. A nil/empty value is a no-op filler chosen during leader
+// failover to close a log gap; appliers should treat it as a skip.
 type Applier func(slot uint64, value []byte)
+
+// slotWaiter parks a Propose call until its slot is chosen. lost is set
+// before done closes (and read only after), so the waiter learns whether
+// the chosen value was actually its own.
+type slotWaiter struct {
+	value []byte
+	done  chan struct{}
+	lost  bool
+}
 
 // Replica is one Paxos node: acceptor + learner, and optionally the
 // leader/proposer.
@@ -85,6 +114,13 @@ type Replica struct {
 	peers []string // all replica ids including self
 	net   *netsim.Network
 	apply Applier
+
+	// applyMu serializes the chosen-prefix handoff to the Applier. It is
+	// acquired BEFORE mu in onLearn: two goroutines (the netsim handler
+	// and a proposer inside onAccepted) can both reach onLearn, and
+	// without this outer lock their contiguous-apply batches could
+	// interleave out of slot order after mu is released.
+	applyMu sync.Mutex
 
 	mu sync.Mutex
 	// Acceptor state.
@@ -100,7 +136,7 @@ type Replica struct {
 	// Learner state.
 	chosen   map[uint64][]byte
 	applied  uint64
-	waiters  map[uint64]chan struct{}
+	waiters  map[uint64]*slotWaiter
 	lastSeen Ballot // highest ballot observed anywhere (for election)
 }
 
@@ -115,7 +151,7 @@ func NewReplica(net *netsim.Network, id string, peers []string, apply Applier) (
 		accepted: make(map[uint64]slotValue),
 		votes:    make(map[uint64]map[string]bool),
 		chosen:   make(map[uint64][]byte),
-		waiters:  make(map[uint64]chan struct{}),
+		waiters:  make(map[uint64]*slotWaiter),
 	}
 	found := false
 	for _, p := range peers {
@@ -188,9 +224,36 @@ func (r *Replica) BecomeLeader(timeout time.Duration) error {
 				}
 				reproposals = append(reproposals, acceptMsg{Ballot: r.ballot, Slot: slot, Value: sv.Value})
 			}
+			// No-op fill: a slot below nextSlot with no adopted value and
+			// no chosen value was never accepted by anyone in the promise
+			// quorum, so no value can have been chosen there (a choosing
+			// quorum intersects every promise quorum). Fill it with an
+			// empty value so contiguous application never stalls on a gap
+			// left by a crashed leader.
+			for slot := r.applied; slot < r.nextSlot; slot++ {
+				if _, ok := adopt[slot]; ok {
+					continue
+				}
+				if _, done := r.chosen[slot]; done {
+					continue
+				}
+				reproposals = append(reproposals, acceptMsg{Ballot: r.ballot, Slot: slot, Value: nil})
+			}
+			// Re-announce values this replica knows are chosen above its
+			// applied floor: peers that missed the original learn converge
+			// without waiting for an explicit Sync.
+			var relearn []learnMsg
+			for slot, v := range r.chosen {
+				if slot >= r.applied {
+					relearn = append(relearn, learnMsg{Slot: slot, Value: v})
+				}
+			}
 			r.mu.Unlock()
 			for _, a := range reproposals {
 				r.sendAccept(a)
+			}
+			for _, l := range relearn {
+				r.broadcast(msgLearn, l)
 			}
 			return nil
 		}
@@ -212,8 +275,10 @@ func (r *Replica) IsLeader() bool {
 }
 
 // Propose replicates value into the next log slot. Only valid on the
-// leader. Blocks until the value is chosen and applied locally, or the
-// timeout elapses.
+// leader. Blocks until the slot is chosen and applied locally, or the
+// timeout elapses. If the slot was chosen with a DIFFERENT value (a
+// leader turnover re-proposed into it), Propose returns ErrSlotLost: the
+// caller's value was not committed and may be retried.
 func (r *Replica) Propose(value []byte, timeout time.Duration) (uint64, error) {
 	r.mu.Lock()
 	if !r.leading {
@@ -222,15 +287,18 @@ func (r *Replica) Propose(value []byte, timeout time.Duration) (uint64, error) {
 	}
 	slot := r.nextSlot
 	r.nextSlot++
-	done := make(chan struct{})
-	r.waiters[slot] = done
+	w := &slotWaiter{value: value, done: make(chan struct{})}
+	r.waiters[slot] = w
 	a := acceptMsg{Ballot: r.ballot, Slot: slot, Value: value}
 	r.mu.Unlock()
 
 	r.sendAccept(a)
 
 	select {
-	case <-done:
+	case <-w.done:
+		if w.lost {
+			return 0, ErrSlotLost
+		}
 		return slot, nil
 	case <-time.After(timeout):
 		r.mu.Lock()
@@ -238,6 +306,39 @@ func (r *Replica) Propose(value []byte, timeout time.Duration) (uint64, error) {
 		r.mu.Unlock()
 		return 0, fmt.Errorf("paxos: proposal for slot %d timed out", slot)
 	}
+}
+
+// Crash detaches the replica from the network, simulating a process
+// crash. Acceptor and learner state survives (real Paxos keeps promised/
+// accepted on stable storage); leadership does not.
+func (r *Replica) Crash() error {
+	if err := r.net.Crash(r.id); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.leading = false
+	r.mu.Unlock()
+	return nil
+}
+
+// Restart reattaches a crashed replica and pulls the chosen log it missed
+// from its peers (learn-sync).
+func (r *Replica) Restart() error {
+	if err := r.net.Restart(r.id, r.handle); err != nil {
+		return err
+	}
+	r.Sync()
+	return nil
+}
+
+// Sync asks all peers for chosen values at or above this replica's
+// contiguous-applied floor (anti-entropy pull). Useful after a restart or
+// a healed partition; replies flow through the normal learn path.
+func (r *Replica) Sync() {
+	r.mu.Lock()
+	from := r.applied
+	r.mu.Unlock()
+	r.broadcast(msgSyncReq, syncReqMsg{From: from})
 }
 
 // sendAccept broadcasts an accept and processes the leader's own vote.
@@ -326,6 +427,34 @@ func (r *Replica) handle(m netsim.Message) {
 			return
 		}
 		r.onLearn(l)
+	case msgSyncReq:
+		var s syncReqMsg
+		if json.Unmarshal(m.Payload, &s) != nil {
+			return
+		}
+		r.onSyncReq(m.From, s)
+	case msgSyncRep:
+		var s syncRepMsg
+		if json.Unmarshal(m.Payload, &s) != nil {
+			return
+		}
+		for _, l := range s.Entries {
+			r.onLearn(l)
+		}
+	}
+}
+
+func (r *Replica) onSyncReq(from string, s syncReqMsg) {
+	r.mu.Lock()
+	rep := syncRepMsg{}
+	for slot, v := range r.chosen {
+		if slot >= s.From {
+			rep.Entries = append(rep.Entries, learnMsg{Slot: slot, Value: v})
+		}
+	}
+	r.mu.Unlock()
+	if len(rep.Entries) > 0 {
+		r.send(from, msgSyncRep, rep)
 	}
 }
 
@@ -371,6 +500,11 @@ func (r *Replica) onAccept(from string, a acceptMsg) {
 		return // stale ballot: reject silently
 	}
 	r.promised = a.Ballot
+	// A higher-ballot accept means another leader won an election this
+	// replica missed (e.g. while partitioned): stop claiming leadership.
+	if r.leading && r.ballot.Less(a.Ballot) {
+		r.leading = false
+	}
 	r.accepted[a.Slot] = slotValue{Slot: a.Slot, Ballot: a.Ballot, Value: a.Value}
 	r.mu.Unlock()
 	if from == r.id {
@@ -411,7 +545,13 @@ func (r *Replica) onAccepted(from string, a acceptedMsg) {
 	r.onLearn(learnMsg{Slot: a.Slot, Value: value})
 }
 
+// onLearn records a chosen value and applies the contiguous prefix.
+// applyMu is taken before mu and held across the Applier calls: the batch
+// extraction and its application form one critical section, so two racing
+// learners can never hand batches to the Applier out of slot order.
 func (r *Replica) onLearn(l learnMsg) {
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
 	r.mu.Lock()
 	if _, done := r.chosen[l.Slot]; done {
 		r.mu.Unlock()
@@ -432,9 +572,10 @@ func (r *Replica) onLearn(l learnMsg) {
 		toApply = append(toApply, applyItem{r.applied, v})
 		r.applied++
 	}
-	var toWake []chan struct{}
-	if ch, ok := r.waiters[l.Slot]; ok {
-		toWake = append(toWake, ch)
+	var toWake []*slotWaiter
+	if w, ok := r.waiters[l.Slot]; ok {
+		w.lost = !bytes.Equal(w.value, l.Value)
+		toWake = append(toWake, w)
 		delete(r.waiters, l.Slot)
 	}
 	apply := r.apply
@@ -444,7 +585,7 @@ func (r *Replica) onLearn(l learnMsg) {
 			apply(it.slot, it.value)
 		}
 	}
-	for _, ch := range toWake {
-		close(ch)
+	for _, w := range toWake {
+		close(w.done)
 	}
 }

@@ -32,6 +32,8 @@ const (
 	msgCheckpoint = "pbft/checkpoint"
 	msgViewChange = "pbft/viewchange"
 	msgNewView    = "pbft/newview"
+	msgStateReq   = "pbft/statereq"
+	msgStateRep   = "pbft/staterep"
 )
 
 // Request is a client operation.
@@ -109,6 +111,24 @@ type newViewMsg struct {
 	NextSeq     uint64          `json:"nextSeq"`
 }
 
+// stateReqMsg asks peers for the executed batches from Have upward —
+// the checkpoint/state-transfer pull a restarted replica uses to catch up.
+type stateReqMsg struct {
+	Have uint64 `json:"have"`
+}
+
+// execEntry is one executed batch in a state-transfer reply.
+type execEntry struct {
+	Seq    uint64    `json:"seq"`
+	Digest Digest    `json:"digest"`
+	Batch  []Request `json:"batch"`
+}
+
+type stateRepMsg struct {
+	Entries []execEntry `json:"entries,omitempty"`
+	Replica string      `json:"replica"`
+}
+
 // envelope wraps every message with an HMAC tag keyed on the (sender,
 // receiver) pair, modelling PBFT's MAC-based authenticators.
 type envelope struct {
@@ -164,20 +184,31 @@ type Replica struct {
 	apply Applier
 	opts  Options
 
-	mu        sync.Mutex
-	view      uint64
-	nextSeq   uint64 // primary: next sequence to assign
-	execSeq   uint64 // next sequence to execute
-	stable    uint64 // last stable checkpoint
-	insts     map[uint64]*instState
-	executedR map[string]bool // client:seq dedup of executed requests
-	waiters   map[Digest][]chan struct{}
-	pending   []Request // primary: batch under construction
-	batchTmr  *time.Timer
-	ckpts     map[uint64]map[string]bool
-	vcs       map[uint64]map[string]viewChangeMsg
-	inVC      bool
-	vcTimers  map[Digest]*time.Timer
+	mu         sync.Mutex
+	view       uint64
+	nextSeq    uint64 // primary: next sequence to assign
+	execSeq    uint64 // next sequence to execute
+	stable     uint64 // last stable checkpoint
+	insts      map[uint64]*instState
+	executedR  map[string]bool // client:seq dedup of executed requests
+	waiters    map[Digest][]chan struct{}
+	pending    []Request // primary: batch under construction
+	batchTmr   *time.Timer
+	ckpts      map[uint64]map[string]bool
+	vcs        map[uint64]map[string]viewChangeMsg
+	inVC       bool
+	vcTarget   uint64 // highest view this replica has voted a view change for
+	vcTimers   map[Digest]*vcTimer
+	execLog    map[uint64]execEntry            // executed batches, served to restarted peers
+	stateVotes map[uint64]map[string]execEntry // state-transfer replies per seq, per sender
+}
+
+// vcTimer guards one watched request. The request rides along so the
+// timeout callback (and view entry) can check execution state before
+// deciding anything.
+type vcTimer struct {
+	tmr *time.Timer
+	req Request
 }
 
 // NewReplica creates and registers a PBFT replica. ids is the full ordered
@@ -197,19 +228,21 @@ func NewReplica(net *netsim.Network, id string, ids []string, f int, apply Appli
 		return nil, fmt.Errorf("pbft: id %q not in replica list", id)
 	}
 	r := &Replica{
-		id:        id,
-		index:     index,
-		ids:       append([]string(nil), ids...),
-		f:         f,
-		net:       net,
-		apply:     apply,
-		opts:      opts,
-		insts:     make(map[uint64]*instState),
-		executedR: make(map[string]bool),
-		waiters:   make(map[Digest][]chan struct{}),
-		ckpts:     make(map[uint64]map[string]bool),
-		vcs:       make(map[uint64]map[string]viewChangeMsg),
-		vcTimers:  make(map[Digest]*time.Timer),
+		id:         id,
+		index:      index,
+		ids:        append([]string(nil), ids...),
+		f:          f,
+		net:        net,
+		apply:      apply,
+		opts:       opts,
+		insts:      make(map[uint64]*instState),
+		executedR:  make(map[string]bool),
+		waiters:    make(map[Digest][]chan struct{}),
+		ckpts:      make(map[uint64]map[string]bool),
+		vcs:        make(map[uint64]map[string]viewChangeMsg),
+		vcTimers:   make(map[Digest]*vcTimer),
+		execLog:    make(map[uint64]execEntry),
+		stateVotes: make(map[uint64]map[string]execEntry),
 	}
 	if err := net.Register(id, r.handle); err != nil {
 		return nil, err
@@ -331,7 +364,7 @@ func (r *Replica) Submit(client string, clientSeq uint64, op []byte, timeout tim
 		// Broadcast the request so every replica arms a view-change
 		// timer; the primary picks it up for ordering, and if the primary
 		// is dead, f+1 timers expire and a view change goes through.
-		r.armViewChangeTimerLocked(d)
+		r.armViewChangeTimerLocked(req)
 		r.mu.Unlock()
 		r.broadcast(msgRequest, req)
 	}
@@ -348,20 +381,60 @@ func reqKey(req Request) string { return fmt.Sprintf("%s/%d", req.Client, req.Se
 
 // armViewChangeTimerLocked starts a timer that triggers a view change if
 // the request does not execute in time.
-func (r *Replica) armViewChangeTimerLocked(d Digest) {
+func (r *Replica) armViewChangeTimerLocked(req Request) {
+	d := digestOf([]Request{req})
 	if _, ok := r.vcTimers[d]; ok {
 		return
 	}
-	r.vcTimers[d] = time.AfterFunc(r.opts.ViewTimeout, func() {
-		r.mu.Lock()
-		delete(r.vcTimers, d)
-		start := !r.inVC
-		view := r.view
+	vt := &vcTimer{req: req}
+	vt.tmr = time.AfterFunc(r.opts.ViewTimeout, func() { r.onViewChangeTimeout(d, req) })
+	r.vcTimers[d] = vt
+}
+
+// onViewChangeTimeout fires when a watched request's timer expires. A
+// timer can lose the race with execution — maybeExecuteLocked's Stop
+// lands after the timer has fired but before this callback takes the
+// lock — so the executed set is re-checked here; without it a fully
+// executed workload could still trigger spurious view changes under load.
+//
+// For a request that truly stalled, the timer is the liveness engine and
+// re-arms itself until the request executes: vote for a view change; if
+// one is already stalled with f+1 replicas behind it (so at least one
+// honest peer agrees), escalate past its — presumably dead — candidate
+// primary to the next view; if this replica's vote is a singleton, the
+// vote was probably lost in a partition, so retransmit it instead of
+// climbing views nobody else wants.
+func (r *Replica) onViewChangeTimeout(d Digest, req Request) {
+	r.mu.Lock()
+	delete(r.vcTimers, d)
+	if r.executedR[reqKey(req)] {
 		r.mu.Unlock()
-		if start {
-			r.StartViewChange(view + 1)
+		return
+	}
+	// Re-arm only while this node is actually part of a live network —
+	// without the guard an abandoned request would keep a timer ticking
+	// forever after a crash or shutdown.
+	if r.net.Alive(r.id) && !r.net.Closed() {
+		r.armViewChangeTimerLocked(req)
+	}
+	if !r.inVC {
+		next := r.view + 1
+		if r.vcTarget+1 > next {
+			next = r.vcTarget + 1
 		}
-	})
+		r.mu.Unlock()
+		r.StartViewChange(next)
+		return
+	}
+	target := r.vcTarget
+	if len(r.vcs[target]) >= r.f+1 {
+		r.mu.Unlock()
+		r.StartViewChange(target + 1)
+		return
+	}
+	vc := viewChangeMsg{NewView: target, Stable: r.stable, Prepared: r.preparedSetLocked(), Replica: r.id}
+	r.mu.Unlock()
+	r.broadcast(msgViewChange, vc)
 }
 
 // enqueueLocked adds a request to the primary's batch, flushing when full
@@ -472,19 +545,32 @@ func (r *Replica) handle(m netsim.Message) {
 			return
 		}
 		r.onNewView(m.From, nv)
+	case msgStateReq:
+		var s stateReqMsg
+		if json.Unmarshal(body, &s) != nil {
+			return
+		}
+		r.onStateReq(m.From, s)
+	case msgStateRep:
+		var s stateRepMsg
+		if json.Unmarshal(body, &s) != nil {
+			return
+		}
+		r.onStateRep(m.From, s)
 	}
 }
 
 func (r *Replica) onRequest(req Request) {
 	r.mu.Lock()
-	if r.executedR[reqKey(req)] || r.inVC {
+	if r.executedR[reqKey(req)] {
 		r.mu.Unlock()
 		return
 	}
-	if r.primaryLocked(r.view) != r.id {
-		// Backup: watch the request so a dead primary triggers a view
-		// change from f+1 replicas, not just the submitting one.
-		r.armViewChangeTimerLocked(digestOf([]Request{req}))
+	if r.inVC || r.primaryLocked(r.view) != r.id {
+		// Backup (or mid-view-change): watch the request so a dead
+		// primary — or a stalled view change — triggers escalation from
+		// f+1 replicas, not just the submitting one.
+		r.armViewChangeTimerLocked(req)
 		r.mu.Unlock()
 		return
 	}
@@ -583,44 +669,58 @@ func (r *Replica) maybeExecuteLocked() {
 		if len(inst.commits) < r.commitQuorum() {
 			return
 		}
-		inst.executed = true
-		seq := r.execSeq
-		r.execSeq++
-		batch := inst.batch
-		// Dedup and record executed requests; wake waiters.
-		var wake []chan struct{}
-		fresh := batch[:0:0]
-		for _, req := range batch {
-			if r.executedR[reqKey(req)] {
-				continue
-			}
-			r.executedR[reqKey(req)] = true
-			fresh = append(fresh, req)
-			d := digestOf([]Request{req})
-			wake = append(wake, r.waiters[d]...)
-			delete(r.waiters, d)
-			if tmr, ok := r.vcTimers[d]; ok {
-				tmr.Stop()
-				delete(r.vcTimers, d)
-			}
+		r.executeInstanceLocked(r.execSeq, inst.digest, inst.batch)
+	}
+}
+
+// executeInstanceLocked executes one batch at r.execSeq: it records the
+// instance as executed, appends to the exec log (served to restarted
+// peers), dedups against executed client requests, applies, and wakes
+// waiters. The mutex is released around the Applier call and re-held on
+// return. Both the normal commit path and state-transfer catch-up land
+// here, so a sequence can never execute twice.
+func (r *Replica) executeInstanceLocked(seq uint64, digest Digest, batch []Request) {
+	inst := r.instLocked(seq)
+	inst.executed = true
+	inst.prePrepared = true
+	inst.digest = digest
+	inst.batch = batch
+	r.execSeq = seq + 1
+	r.execLog[seq] = execEntry{Seq: seq, Digest: digest, Batch: batch}
+	delete(r.stateVotes, seq)
+	// Dedup and record executed requests; wake waiters.
+	var wake []chan struct{}
+	fresh := batch[:0:0]
+	for _, req := range batch {
+		if r.executedR[reqKey(req)] {
+			continue
 		}
-		apply := r.apply
+		r.executedR[reqKey(req)] = true
+		fresh = append(fresh, req)
+		d := digestOf([]Request{req})
+		wake = append(wake, r.waiters[d]...)
+		delete(r.waiters, d)
+		if vt, ok := r.vcTimers[d]; ok {
+			vt.tmr.Stop()
+			delete(r.vcTimers, d)
+		}
+	}
+	apply := r.apply
+	r.mu.Unlock()
+	if apply != nil && len(fresh) > 0 {
+		apply(seq, fresh)
+	}
+	for _, ch := range wake {
+		close(ch)
+	}
+	r.mu.Lock()
+	// Checkpointing.
+	if r.execSeq%r.opts.CheckpointEvery == 0 {
+		ck := checkpointMsg{Seq: r.execSeq, Replica: r.id}
 		r.mu.Unlock()
-		if apply != nil && len(fresh) > 0 {
-			apply(seq, fresh)
-		}
-		for _, ch := range wake {
-			close(ch)
-		}
+		r.broadcast(msgCheckpoint, ck)
 		r.mu.Lock()
-		// Checkpointing.
-		if r.execSeq%r.opts.CheckpointEvery == 0 {
-			ck := checkpointMsg{Seq: r.execSeq, Replica: r.id}
-			r.mu.Unlock()
-			r.broadcast(msgCheckpoint, ck)
-			r.mu.Lock()
-			r.recordCheckpointLocked(ck)
-		}
+		r.recordCheckpointLocked(ck)
 	}
 }
 
@@ -657,13 +757,16 @@ func (r *Replica) recordCheckpointLocked(c checkpointMsg) {
 // --- view change ---
 
 // StartViewChange broadcasts a view-change vote for the target view.
+// Each view is voted for at most once; retransmission of a stalled vote
+// goes through onViewChangeTimeout.
 func (r *Replica) StartViewChange(newView uint64) {
 	r.mu.Lock()
-	if newView <= r.view {
+	if newView <= r.view || newView <= r.vcTarget {
 		r.mu.Unlock()
 		return
 	}
 	r.inVC = true
+	r.vcTarget = newView
 	vc := viewChangeMsg{
 		NewView:  newView,
 		Stable:   r.stable,
@@ -675,14 +778,19 @@ func (r *Replica) StartViewChange(newView uint64) {
 	r.onViewChange(vc) // count own vote
 }
 
-// preparedSetLocked collects prepared-but-unexecuted batches to hand to
-// the next primary.
+// preparedSetLocked collects the prepared certificates above the stable
+// checkpoint to hand to the next primary — including already-executed
+// batches, as in the paper's P set. Executed entries matter: the new
+// primary null-fills every gap below its NextSeq, and a committed
+// sequence must appear in some certificate of any 2f+1 view-change
+// quorum or it could be overwritten with a no-op.
 func (r *Replica) preparedSetLocked() []preparedEntry {
 	var out []preparedEntry
 	for seq, inst := range r.insts {
-		if inst.committed && !inst.executed && inst.prePrepared {
-			out = append(out, preparedEntry{Seq: seq, View: r.view, Digest: inst.digest, Batch: inst.batch})
+		if seq < r.stable || !inst.committed || !inst.prePrepared {
+			continue
 		}
+		out = append(out, preparedEntry{Seq: seq, View: r.view, Digest: inst.digest, Batch: inst.batch})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
@@ -699,12 +807,14 @@ func (r *Replica) onViewChange(vc viewChangeMsg) {
 	}
 	r.vcs[vc.NewView][vc.Replica] = vc
 	count := len(r.vcs[vc.NewView])
-	joinedAlready := r.inVC
+	target := r.vcTarget
 	iAmNewPrimary := r.primaryLocked(vc.NewView) == r.id
 	r.mu.Unlock()
 
-	// Join a view change once f+1 replicas vote for it (liveness rule).
-	if !joinedAlready && count >= r.f+1 {
+	// Join a view change once f+1 replicas vote for a view beyond any
+	// this replica has voted for (liveness rule — this is also how a
+	// replica stuck in a lower stalled view change gets pulled forward).
+	if vc.NewView > target && count >= r.f+1 {
 		r.StartViewChange(vc.NewView)
 	}
 	if !iAmNewPrimary {
@@ -716,10 +826,19 @@ func (r *Replica) onViewChange(vc viewChangeMsg) {
 		return
 	}
 	// Become primary of the new view: re-propose the union of prepared
-	// batches under the new view.
+	// batches under the new view, and null-fill every other sequence
+	// between the highest stable checkpoint and NextSeq. Without the
+	// fill, a sequence a crashed primary assigned but nobody prepared
+	// becomes a permanent gap that wedges execution forever. A filled
+	// sequence cannot have committed anywhere: a committed sequence has
+	// 2f+1 prepared certificates, so any view-change quorum contains one.
 	adopt := map[uint64]preparedEntry{}
+	base := r.stable
 	maxSeq := r.execSeq
 	for _, v := range r.vcs[vc.NewView] {
+		if v.Stable > base {
+			base = v.Stable
+		}
 		for _, pe := range v.Prepared {
 			cur, ok := adopt[pe.Seq]
 			if !ok || cur.View < pe.View {
@@ -730,9 +849,21 @@ func (r *Replica) onViewChange(vc viewChangeMsg) {
 			}
 		}
 	}
+	if base > maxSeq {
+		maxSeq = base
+	}
 	nv := newViewMsg{View: vc.NewView, NextSeq: maxSeq}
 	for _, pe := range adopt {
+		if pe.Seq < base {
+			continue // covered by a stable checkpoint; state transfer serves it
+		}
 		nv.PrePrepares = append(nv.PrePrepares, prePrepareMsg{View: vc.NewView, Seq: pe.Seq, Digest: pe.Digest, Batch: pe.Batch})
+	}
+	for seq := base; seq < maxSeq; seq++ {
+		if _, ok := adopt[seq]; ok {
+			continue
+		}
+		nv.PrePrepares = append(nv.PrePrepares, prePrepareMsg{View: vc.NewView, Seq: seq, Digest: digestOf(nil)})
 	}
 	sort.Slice(nv.PrePrepares, func(i, j int) bool { return nv.PrePrepares[i].Seq < nv.PrePrepares[j].Seq })
 	r.enterViewLocked(vc.NewView, maxSeq)
@@ -792,9 +923,15 @@ func (r *Replica) onNewView(from string, nv newViewMsg) {
 func (r *Replica) enterViewLocked(view, nextSeq uint64) {
 	r.view = view
 	r.inVC = false
-	if nextSeq > r.nextSeq {
-		r.nextSeq = nextSeq
+	if view > r.vcTarget {
+		r.vcTarget = view
 	}
+	// The new-view NextSeq is authoritative in both directions: everything
+	// below it is covered by the re-proposals and null fills, everything at
+	// or above it is unassigned. Keeping a higher local value (inflated by
+	// a dead view's pre-prepares) would make the next primary assign past
+	// a gap nobody fills.
+	r.nextSeq = nextSeq
 	delete(r.vcs, view)
 	// Drop un-executed per-view votes; they are invalid in the new view.
 	for _, inst := range r.insts {
@@ -806,4 +943,118 @@ func (r *Replica) enterViewLocked(view, nextSeq uint64) {
 		}
 	}
 	r.pending = nil
+	// Restart the watchdogs: timers armed in the old view carry stale
+	// deadlines — left running they fire mid-recovery and cascade into
+	// further view changes. Pending requests get a full fresh timeout
+	// under the new primary; executed ones are dropped outright.
+	var rearm []Request
+	for d, vt := range r.vcTimers {
+		vt.tmr.Stop()
+		delete(r.vcTimers, d)
+		if !r.executedR[reqKey(vt.req)] {
+			rearm = append(rearm, vt.req)
+		}
+	}
+	for _, req := range rearm {
+		r.armViewChangeTimerLocked(req)
+	}
+}
+
+// --- crash / restart / state transfer ---
+
+// Crash detaches the replica from the network, simulating a process
+// crash: armed timers die with the process and primary batch state is
+// dropped. Consensus state (executed log, instances, view) survives in
+// this object, standing in for the replica's stable storage.
+func (r *Replica) Crash() error {
+	if err := r.net.Crash(r.id); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.batchTmr != nil {
+		r.batchTmr.Stop()
+		r.batchTmr = nil
+	}
+	for d, vt := range r.vcTimers {
+		vt.tmr.Stop()
+		delete(r.vcTimers, d)
+	}
+	r.pending = nil
+	r.inVC = false
+	// Volatile view-change state dies with the process: any vote this
+	// replica had broadcast is treated as lost, so after a restart it can
+	// vote (idempotently) again instead of orphaning its old target.
+	r.vcTarget = r.view
+	r.mu.Unlock()
+	return nil
+}
+
+// Restart reattaches a crashed replica and pulls the executed history it
+// missed from its peers (checkpoint/state transfer).
+func (r *Replica) Restart() error {
+	if err := r.net.Restart(r.id, r.handle); err != nil {
+		return err
+	}
+	r.Sync()
+	return nil
+}
+
+// Sync asks all peers for executed batches at or above this replica's
+// execution point. Replies are applied once f+1 replicas agree on a
+// sequence's digest, so no single Byzantine peer can poison catch-up.
+func (r *Replica) Sync() {
+	r.mu.Lock()
+	have := r.execSeq
+	r.mu.Unlock()
+	r.broadcast(msgStateReq, stateReqMsg{Have: have})
+}
+
+func (r *Replica) onStateReq(from string, s stateReqMsg) {
+	r.mu.Lock()
+	rep := stateRepMsg{Replica: r.id}
+	for seq := s.Have; seq < r.execSeq; seq++ {
+		if e, ok := r.execLog[seq]; ok {
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	r.mu.Unlock()
+	if len(rep.Entries) > 0 {
+		r.send(from, msgStateRep, rep)
+	}
+}
+
+func (r *Replica) onStateRep(from string, s stateRepMsg) {
+	r.mu.Lock()
+	for _, e := range s.Entries {
+		if e.Seq < r.execSeq || digestOf(e.Batch) != e.Digest {
+			continue
+		}
+		if r.stateVotes[e.Seq] == nil {
+			r.stateVotes[e.Seq] = make(map[string]execEntry)
+		}
+		r.stateVotes[e.Seq][from] = e
+	}
+	// Advance: execute each next sequence once f+1 senders agree on its
+	// digest (at least one of them is honest, so the batch is the one the
+	// cluster committed).
+	for {
+		votes := r.stateVotes[r.execSeq]
+		counts := make(map[Digest]int)
+		var pick *execEntry
+		for _, e := range votes {
+			counts[e.Digest]++
+			if counts[e.Digest] >= r.f+1 {
+				e := e
+				pick = &e
+				break
+			}
+		}
+		if pick == nil {
+			break
+		}
+		r.executeInstanceLocked(pick.Seq, pick.Digest, pick.Batch)
+	}
+	// Catch-up may have unblocked normally-committed successors.
+	r.maybeExecuteLocked()
+	r.mu.Unlock()
 }
