@@ -41,5 +41,9 @@ check: fmt-check vet lint race
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...
 
+# bench-json records a machine-readable snapshot of the experiment suite
+# as BENCH_<date>.json — the committed series tracks throughput across
+# PRs (first snapshot: the mempool/batched-consensus PR).
 bench-json:
-	$(GO) run ./cmd/prever-bench -json
+	$(GO) run ./cmd/prever-bench -json > BENCH_$$(date +%Y-%m-%d).json
+	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	prever-bench [-scale quick|full] [-only E4] [-json]
+//	             [-batch N] [-flush D] [-inflight K] [-mempool-cap N] [-lanes N]
+//
+// The batching flags map straight onto the internal/conf runtime knobs
+// (the defaults every mempool-backed path boots with), so a bench sweep
+// can retune batch size, flush interval, pipelining depth, pool cap and
+// lane count without rebuilding.
 package main
 
 import (
@@ -15,13 +21,28 @@ import (
 	"time"
 
 	"prever/internal/bench"
+	"prever/internal/conf"
 )
 
 func main() {
+	defaults := conf.Defaults()
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	onlyFlag := flag.String("only", "", "run a single experiment (E1, E1b, E2..E8)")
 	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON tables instead of text")
+	batchFlag := flag.Int("batch", defaults.BatchSize, "mempool batch size (ops per consensus instance)")
+	flushFlag := flag.Duration("flush", defaults.FlushInterval, "partial-batch flush interval")
+	inflightFlag := flag.Int("inflight", defaults.MaxInFlight, "pipelined consensus instances")
+	capFlag := flag.Int("mempool-cap", defaults.MempoolCap, "mempool admission-control cap")
+	lanesFlag := flag.Int("lanes", defaults.Lanes, "key-hashed mempool lanes")
 	flag.Parse()
+
+	conf.Update(func(c *conf.Config) {
+		c.BatchSize = *batchFlag
+		c.FlushInterval = *flushFlag
+		c.MaxInFlight = *inflightFlag
+		c.MempoolCap = *capFlag
+		c.Lanes = *lanesFlag
+	})
 
 	var scale bench.Scale
 	switch strings.ToLower(*scaleFlag) {

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prever/internal/mempool"
 	"prever/internal/merkle"
 	"prever/internal/netsim"
 	"prever/internal/pbft"
@@ -99,12 +100,13 @@ type Peer struct {
 	id          string
 	collections map[string]bool
 
-	mu       sync.Mutex
-	blocks   []Block
-	state    *store.KV
-	private  map[string]*store.KV // collection -> private state
-	pendingP map[string][]byte    // txID -> private value awaiting commit
-	prepared map[string][]Tx      // xid -> prepared cross-shard writes
+	mu        sync.Mutex
+	blocks    []Block
+	state     *store.KV
+	private   map[string]*store.KV // collection -> private state
+	pendingP  map[string][]byte    // txID -> private value awaiting commit
+	prepared  map[string][]Tx      // xid -> prepared cross-shard writes
+	appliedTx map[string]bool      // txID -> already applied (exactly-once)
 }
 
 func newPeer(id string, collections []string) *Peer {
@@ -115,6 +117,7 @@ func newPeer(id string, collections []string) *Peer {
 		private:     make(map[string]*store.KV),
 		pendingP:    make(map[string][]byte),
 		prepared:    make(map[string][]Tx),
+		appliedTx:   make(map[string]bool),
 	}
 	for _, c := range collections {
 		p.collections[c] = true
@@ -170,9 +173,31 @@ func (p *Peer) StagePrivateValue(txID string, value []byte) {
 }
 
 // applyBatch turns one executed PBFT batch into a block and applies it.
+// Transactions whose ID already applied are dropped first: a consensus
+// client that times out and retries can commit the same transaction into
+// two instances, and this filter is what keeps the chain exactly-once.
+// The dedup map is unbounded and keyed only by the executed sequence —
+// every peer applies the same instances in the same order, so every peer
+// drops the same duplicates and the chains stay identical (a TTL filter
+// here would make the drop decision depend on wall-clock timing and let
+// replicas diverge).
 func (p *Peer) applyBatch(txs []Tx) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	fresh := make([]Tx, 0, len(txs))
+	for _, tx := range txs {
+		if tx.ID != "" {
+			if p.appliedTx[tx.ID] {
+				continue
+			}
+			p.appliedTx[tx.ID] = true
+		}
+		fresh = append(fresh, tx)
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	txs = fresh
 	blk := Block{
 		Height: uint64(len(p.blocks)),
 		TxRoot: txRoot(txs),
@@ -274,14 +299,22 @@ func VerifyTxProof(proof merkle.InclusionProof, tx Tx, blk Block) error {
 }
 
 // Shard is one PBFT cluster of peers ordering a partition of the key
-// space.
+// space. Submission is batch-first: transactions enter a mempool, a
+// leader-side batcher drains them into batched PBFT requests with
+// pipelined in-flight instances, and per-transaction results come back
+// asynchronously (SubmitAsync / SubmitBatch).
 type Shard struct {
 	Name     string
 	peers    []*Peer
 	replicas []*pbft.Replica
 	client   *pbft.Client
+	pool     *mempool.Pool
+	batcher  *mempool.Batcher
 	seq      atomic.Uint64
 	timeout  time.Duration
+
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // ShardConfig configures one shard.
@@ -290,7 +323,8 @@ type ShardConfig struct {
 	F           int                 // tolerated Byzantine peers (n = 3f+1)
 	Collections map[string][]string // collection -> member peer ids
 	PBFT        pbft.Options
-	Timeout     time.Duration // per-transaction commit timeout
+	Timeout     time.Duration  // per-transaction commit timeout
+	Mempool     mempool.Config // zero fields default from conf.Snapshot
 }
 
 // NewShard builds a shard of 3F+1 peers on the network.
@@ -323,10 +357,22 @@ func NewShard(net *netsim.Network, cfg ShardConfig) (*Shard, error) {
 		s.peers = append(s.peers, peer)
 		replica, err := pbft.NewReplica(net, id, ids, cfg.F, func(_ uint64, batch []pbft.Request) {
 			txs := make([]Tx, 0, len(batch))
-			for _, req := range batch {
+			decode := func(op []byte) {
 				var tx Tx
-				if json.Unmarshal(req.Op, &tx) == nil {
+				if json.Unmarshal(op, &tx) == nil {
 					txs = append(txs, tx)
+				}
+			}
+			for _, req := range batch {
+				// A request is either one mempool batch (fanned back out
+				// into its transactions) or a bare single transaction from
+				// the synchronous path.
+				if ops, ok := pbft.DecodeBatch(req.Op); ok {
+					for _, op := range ops {
+						decode(op)
+					}
+				} else {
+					decode(req.Op)
 				}
 			}
 			if len(txs) > 0 {
@@ -343,7 +389,23 @@ func NewShard(net *netsim.Network, cfg ShardConfig) (*Shard, error) {
 		return nil, err
 	}
 	s.client = client
+	s.pool = mempool.NewPool(cfg.Mempool)
+	s.batcher = mempool.NewBatcher(s.pool, func(ops [][]byte) func() error {
+		// Start assigns the client sequence number and hands the batch to
+		// the primary before returning, fixing the commit order of
+		// pipelined batches at dispatch time.
+		p := s.client.StartBatch(ops)
+		return func() error { return p.Wait(s.timeout) }
+	})
 	return s, nil
+}
+
+// Close stops the shard's batcher and fails any queued transactions with
+// an error. The consensus replicas keep running (they belong to the
+// network); only the submission front end shuts down.
+func (s *Shard) Close() error {
+	s.batcher.Stop()
+	return s.pool.Close()
 }
 
 // Peers returns the shard's peers.
@@ -354,15 +416,14 @@ func (s *Shard) Peers() []*Peer { return s.peers }
 func (s *Shard) Replicas() []*pbft.Replica { return s.replicas }
 
 // Submit orders a transaction through consensus and blocks until it
-// commits. Submission goes through the failover client, so a crashed or
-// demoted primary is ridden out by retrying into the new view; the
-// cluster's client-sequence dedup keeps retried transactions
-// exactly-once.
+// commits. It is a thin synchronous wrapper over SubmitAsync, kept for
+// callers that want one-at-a-time semantics.
+//
+// Deprecated: use SubmitAsync or SubmitBatch — the batch-first API lets
+// the mempool pack many transactions into one consensus instance instead
+// of paying a full three-phase round per transaction.
 func (s *Shard) Submit(tx Tx) error {
-	if tx.ID == "" {
-		tx.ID = fmt.Sprintf("%s-tx-%d", s.Name, s.seq.Add(1))
-	}
-	return s.client.Submit(txBytes(tx), s.timeout)
+	return (<-s.SubmitAsync(tx)).Err
 }
 
 // SubmitPrivate distributes a private value to collection members

@@ -1,0 +1,193 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"prever/internal/mempool"
+)
+
+// The asynchronous batch-first submission surface. Transactions enter the
+// shard's mempool (duplicate-suppressed, admission-controlled, lane-
+// ordered by key) and resolve when the batch they rode in commits:
+//
+//	SubmitAsync(tx)  → <-chan Result   one tx, resolve later
+//	SubmitBatch(txs) → []Result        many txs, resolved in input order
+//	Submit(tx)       → error           deprecated synchronous wrapper
+//
+// Per-producer ordering: transactions with the same key share a mempool
+// lane and are proposed — and, with ordered batch dispatch, applied — in
+// submission order.
+
+// Result is the outcome of one asynchronous transaction submission.
+type Result struct {
+	// TxID is the transaction's identity (assigned at submission when the
+	// caller left it empty), usable for later proofs and audits.
+	TxID string
+	// Err is nil once the transaction's batch committed. ErrFull means the
+	// mempool refused admission (back off and retry).
+	Err error
+}
+
+// Stats mirrors the Engine Stats shape (core.Stats) for the consensus
+// submission path — Accepted+Rejected+Errors converges to Submitted when
+// the shard is quiescent — and adds the mempool's view: queue depth,
+// admission rejections, and the proposed-batch size histogram. Sharded
+// aggregates it across shards with Merge.
+type Stats struct {
+	Submitted int64 // transactions entering SubmitAsync
+	Accepted  int64 // transactions whose batch committed
+	Rejected  int64 // admission-control rejections (mempool full)
+	Errors    int64 // submission failures (budget exhausted, shard closed)
+	// TotalCommitNanos accumulates wall time from submission to ack;
+	// divide by Accepted for the mean commit latency.
+	TotalCommitNanos int64
+	// Pool is the mempool snapshot (Depth, InFlight, dedup counters).
+	Pool mempool.PoolStats
+	// Batches is the proposed-batch histogram (size buckets, mean, max).
+	Batches mempool.BatchStats
+}
+
+// MeanCommitLatency returns the average submission-to-commit time.
+func (s Stats) MeanCommitLatency() time.Duration {
+	if s.Accepted == 0 {
+		return 0
+	}
+	return time.Duration(s.TotalCommitNanos / s.Accepted)
+}
+
+// Merge accumulates o into s (cross-shard aggregation). Gauges (Depth,
+// InFlight) sum — the aggregate reads as total backlog.
+func (s *Stats) Merge(o Stats) {
+	s.Submitted += o.Submitted
+	s.Accepted += o.Accepted
+	s.Rejected += o.Rejected
+	s.Errors += o.Errors
+	s.TotalCommitNanos += o.TotalCommitNanos
+	s.Pool.Depth += o.Pool.Depth
+	s.Pool.InFlight += o.Pool.InFlight
+	s.Pool.Admitted += o.Pool.Admitted
+	s.Pool.RejectedFull += o.Pool.RejectedFull
+	s.Pool.DupPending += o.Pool.DupPending
+	s.Pool.DupExecuted += o.Pool.DupExecuted
+	s.Pool.Acked += o.Pool.Acked
+	s.Pool.Failed += o.Pool.Failed
+	s.Batches.Merge(o.Batches)
+}
+
+// laneOf picks the mempool ordering key for a transaction: the row key
+// (per-key submission order survives batching), the cross-shard id for
+// keyless 2PC phases, the transaction id as a last resort.
+func laneOf(tx Tx) string {
+	switch {
+	case tx.Key != "":
+		return tx.Key
+	case tx.XID != "":
+		return tx.XID
+	default:
+		return tx.ID
+	}
+}
+
+// SubmitAsync admits a transaction to the mempool and returns a buffered
+// channel that receives its Result exactly once. An empty tx.ID is
+// assigned here; callers that retry a failed submission should reuse the
+// returned TxID so the mempool's duplicate suppression can collapse the
+// retry (a retried transaction that is still pending, or that committed
+// within the dedup TTL, is acked without being proposed again).
+func (s *Shard) SubmitAsync(tx Tx) <-chan Result {
+	ch := make(chan Result, 1)
+	if tx.ID == "" {
+		tx.ID = fmt.Sprintf("%s-tx-%d", s.Name, s.seq.Add(1))
+	}
+	id := tx.ID
+	start := time.Now()
+	s.statsMu.Lock()
+	s.stats.Submitted++
+	s.statsMu.Unlock()
+	err := s.pool.Add(mempool.Op{ID: id, Lane: laneOf(tx), Data: txBytes(tx)}, func(err error) {
+		s.recordOutcome(start, err)
+		ch <- Result{TxID: id, Err: err}
+	})
+	if err != nil {
+		s.recordOutcome(start, err)
+		ch <- Result{TxID: id, Err: err}
+	}
+	return ch
+}
+
+// SubmitBatch admits transactions in order and waits for all of them,
+// returning results in input order. Transactions sharing a key keep their
+// relative order through consensus.
+func (s *Shard) SubmitBatch(txs []Tx) []Result {
+	chans := make([]<-chan Result, len(txs))
+	for i, tx := range txs {
+		chans[i] = s.SubmitAsync(tx)
+	}
+	out := make([]Result, len(txs))
+	for i, ch := range chans {
+		out[i] = <-ch
+	}
+	return out
+}
+
+func (s *Shard) recordOutcome(start time.Time, err error) {
+	ns := time.Since(start).Nanoseconds()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	switch {
+	case err == nil:
+		s.stats.Accepted++
+		s.stats.TotalCommitNanos += ns
+	case errors.Is(err, mempool.ErrFull):
+		s.stats.Rejected++
+	default:
+		s.stats.Errors++
+	}
+}
+
+// Stats snapshots the shard's submission counters, mempool state, and
+// batch histogram.
+func (s *Shard) Stats() Stats {
+	s.statsMu.Lock()
+	st := s.stats
+	s.statsMu.Unlock()
+	st.Pool = s.pool.Stats()
+	st.Batches = s.batcher.Stats()
+	return st
+}
+
+// Stats aggregates submission statistics across every shard.
+func (c *Sharded) Stats() Stats {
+	var total Stats
+	for _, s := range c.shards {
+		total.Merge(s.Stats())
+	}
+	return total
+}
+
+// SubmitBatch routes a batch of single-shard transactions to their home
+// shards and waits for all of them, returning results in input order.
+func (c *Sharded) SubmitBatch(txs []Tx) []Result {
+	chans := make([]<-chan Result, len(txs))
+	for i, tx := range txs {
+		chans[i] = c.ShardFor(tx.Key).SubmitAsync(tx)
+	}
+	out := make([]Result, len(txs))
+	for i, ch := range chans {
+		out[i] = <-ch
+	}
+	return out
+}
+
+// Close shuts down every shard's submission front end.
+func (c *Sharded) Close() error {
+	var firstErr error
+	for _, s := range c.shards {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,305 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"prever/internal/mempool"
+	"prever/internal/netsim"
+)
+
+// appliedIDs collects every tx id applied at a peer, in order.
+func appliedIDs(p *Peer) []string {
+	var out []string
+	for _, b := range p.Blocks() {
+		for _, tx := range b.Txs {
+			out = append(out, tx.ID)
+		}
+	}
+	return out
+}
+
+func TestSubmitBatchCommitsAllAndBatches(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	t.Cleanup(net.Close)
+	s, err := NewShard(net, ShardConfig{
+		Name:    "b0",
+		F:       1,
+		Timeout: 5 * time.Second,
+		Mempool: mempool.Config{BatchSize: 16, FlushInterval: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	const n = 64
+	txs := make([]Tx, n)
+	for i := range txs {
+		txs[i] = Tx{Kind: TxPut, Key: fmt.Sprintf("k%d", i), Value: []byte(fmt.Sprintf("v%d", i))}
+	}
+	for i, res := range s.SubmitBatch(txs) {
+		if res.Err != nil {
+			t.Fatalf("tx %d: %v", i, res.Err)
+		}
+		if res.TxID == "" {
+			t.Fatalf("tx %d: no id assigned", i)
+		}
+	}
+	for _, p := range s.Peers() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if ids := appliedIDs(p); len(ids) == n {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("peer %s applied %d/%d txs", p.ID(), len(appliedIDs(p)), n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		for i := 0; i < n; i++ {
+			v, err := p.Get(fmt.Sprintf("k%d", i))
+			if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+				t.Fatalf("peer %s: k%d = %q, %v", p.ID(), i, v, err)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Submitted != n || st.Accepted != n || st.Rejected != 0 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Batches.Batches == 0 || st.Batches.Ops != n {
+		t.Fatalf("batch stats = %+v", st.Batches)
+	}
+	// 64 txs at batch size 16 must not go one-per-instance.
+	if st.Batches.Batches >= n {
+		t.Fatalf("no batching happened: %d batches for %d txs", st.Batches.Batches, n)
+	}
+	if st.MeanCommitLatency() <= 0 {
+		t.Fatal("mean commit latency not recorded")
+	}
+}
+
+func TestSubmitAsyncSameKeyKeepsOrder(t *testing.T) {
+	net := netsim.New(netsim.Config{Jitter: 100 * time.Microsecond, Seed: 11})
+	t.Cleanup(net.Close)
+	s, err := NewShard(net, ShardConfig{
+		Name:    "ord",
+		F:       1,
+		Timeout: 5 * time.Second,
+		Mempool: mempool.Config{BatchSize: 8, FlushInterval: time.Millisecond, MaxInFlight: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	// All writes hit one key: the final value must be the last submitted.
+	const n = 40
+	var chans []<-chan Result
+	for i := 0; i < n; i++ {
+		chans = append(chans, s.SubmitAsync(Tx{Kind: TxPut, Key: "counter", Value: []byte(fmt.Sprintf("%d", i))}))
+	}
+	for i, ch := range chans {
+		if res := <-ch; res.Err != nil {
+			t.Fatalf("tx %d: %v", i, res.Err)
+		}
+	}
+	for _, p := range s.Peers() {
+		deadline := time.Now().Add(5 * time.Second)
+		var v []byte
+		for time.Now().Before(deadline) {
+			v, _ = p.Get("counter")
+			if string(v) == fmt.Sprintf("%d", n-1) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if string(v) != fmt.Sprintf("%d", n-1) {
+			t.Fatalf("peer %s: counter = %q, want %d", p.ID(), v, n-1)
+		}
+	}
+}
+
+func TestMempoolAdmissionControlRejects(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	t.Cleanup(net.Close)
+	s, err := NewShard(net, ShardConfig{
+		Name:    "full",
+		F:       1,
+		Timeout: 5 * time.Second,
+		// A tiny pool with a long flush interval: adds pile up un-drained.
+		Mempool: mempool.Config{Cap: 4, BatchSize: 64, FlushInterval: time.Minute, MaxInFlight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejected int
+	var pending []<-chan Result
+	for i := 0; i < 12; i++ {
+		ch := s.SubmitAsync(Tx{Kind: TxPut, Key: fmt.Sprintf("k%d", i), Value: []byte("v")})
+		select {
+		case res := <-ch:
+			if !errors.Is(res.Err, mempool.ErrFull) {
+				t.Fatalf("tx %d resolved early with %v", i, res.Err)
+			}
+			rejected++
+		default:
+			pending = append(pending, ch)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no admission rejections despite cap 4")
+	}
+	if st := s.Stats(); st.Rejected != int64(rejected) || st.Pool.RejectedFull != int64(rejected) {
+		t.Fatalf("stats rejected = %d / pool %d, want %d", st.Rejected, st.Pool.RejectedFull, rejected)
+	}
+	// Close fails the queued remainder; every channel resolves.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range pending {
+		select {
+		case res := <-ch:
+			if !errors.Is(res.Err, mempool.ErrClosed) {
+				t.Fatalf("pending %d: err = %v", i, res.Err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("pending %d never resolved after Close", i)
+		}
+	}
+}
+
+// TestRetriedTxNotReproposed is the dup-suppression regression test: a
+// caller that resubmits the same transaction ID while the first copy is
+// pending (or just committed) must not get it proposed twice — under a
+// duplicating, jittery network the chains must carry each ID exactly once
+// and stay identical across peers.
+func TestRetriedTxNotReproposed(t *testing.T) {
+	net := netsim.New(netsim.Config{
+		Jitter:        200 * time.Microsecond,
+		DuplicateRate: 0.2,
+		Seed:          42,
+	})
+	t.Cleanup(net.Close)
+	s, err := NewShard(net, ShardConfig{
+		Name:    "dup",
+		F:       1,
+		Timeout: 5 * time.Second,
+		Mempool: mempool.Config{BatchSize: 8, FlushInterval: time.Millisecond, MaxInFlight: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	const n = 25
+	var chans []<-chan Result
+	for i := 0; i < n; i++ {
+		tx := Tx{ID: fmt.Sprintf("retry-%d", i), Kind: TxPut, Key: fmt.Sprintf("k%d", i), Value: []byte("v")}
+		// Submit every transaction three times: once normally, once as an
+		// immediate client retry (pending dup), and once more for luck.
+		chans = append(chans, s.SubmitAsync(tx), s.SubmitAsync(tx), s.SubmitAsync(tx))
+	}
+	for i, ch := range chans {
+		if res := <-ch; res.Err != nil {
+			t.Fatalf("submission %d: %v", i, res.Err)
+		}
+	}
+	st := s.Stats()
+	if st.Pool.DupPending+st.Pool.DupExecuted != 2*n {
+		t.Fatalf("dup counters = %d pending + %d executed, want %d total",
+			st.Pool.DupPending, st.Pool.DupExecuted, 2*n)
+	}
+	// Every peer's chain carries each ID exactly once, and all chains are
+	// identical.
+	waitIDs := func(p *Peer) []string {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			ids := appliedIDs(p)
+			if len(ids) >= n || time.Now().After(deadline) {
+				return ids
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	ref := waitIDs(s.Peers()[0])
+	seen := make(map[string]int)
+	for _, id := range ref {
+		seen[id]++
+	}
+	for i := 0; i < n; i++ {
+		if c := seen[fmt.Sprintf("retry-%d", i)]; c != 1 {
+			t.Fatalf("retry-%d applied %d times", i, c)
+		}
+	}
+	for _, p := range s.Peers()[1:] {
+		got := waitIDs(p)
+		if len(got) != len(ref) {
+			t.Fatalf("peer %s applied %d txs, peer 0 applied %d", p.ID(), len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("peer %s applied[%d] = %s, peer 0 has %s", p.ID(), i, got[i], ref[i])
+			}
+		}
+	}
+	// A late retry after commit is acked from the executed filter.
+	late := <-s.SubmitAsync(Tx{ID: "retry-0", Kind: TxPut, Key: "k0", Value: []byte("v")})
+	if late.Err != nil {
+		t.Fatalf("late retry: %v", late.Err)
+	}
+	if st := s.Stats(); st.Pool.DupExecuted == 0 {
+		t.Fatal("late retry did not hit the executed filter")
+	}
+}
+
+func TestShardedStatsAggregates(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	t.Cleanup(net.Close)
+	var shards []*Shard
+	for i := 0; i < 2; i++ {
+		s, err := NewShard(net, ShardConfig{
+			Name:    fmt.Sprintf("agg%d", i),
+			F:       1,
+			Timeout: 5 * time.Second,
+			Mempool: mempool.Config{BatchSize: 8, FlushInterval: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, s)
+	}
+	c, err := NewSharded(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	const n = 32
+	txs := make([]Tx, n)
+	for i := range txs {
+		txs[i] = Tx{Kind: TxPut, Key: fmt.Sprintf("key-%d", i), Value: []byte("v")}
+	}
+	for i, res := range c.SubmitBatch(txs) {
+		if res.Err != nil {
+			t.Fatalf("tx %d: %v", i, res.Err)
+		}
+	}
+	st := c.Stats()
+	if st.Submitted != n || st.Accepted != n {
+		t.Fatalf("aggregate stats = %+v", st)
+	}
+	if st.Batches.Ops != n {
+		t.Fatalf("aggregate batch ops = %d, want %d", st.Batches.Ops, n)
+	}
+	// Both shards should have seen traffic (sha256 split across 2 shards
+	// over 32 keys makes an empty shard astronomically unlikely).
+	for _, s := range shards {
+		if s.Stats().Submitted == 0 {
+			t.Fatalf("shard %s saw no traffic", s.Name)
+		}
+	}
+}

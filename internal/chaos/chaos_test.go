@@ -129,30 +129,39 @@ func TestChaosPaxos(t *testing.T) {
 		}
 		acked = append(acked, v)
 	}
-	// A fresh election fills any log gaps left by crashed leaders with
-	// no-ops and re-broadcasts the chosen log.
-	if err := replicas[0].BecomeLeader(5 * time.Second); err != nil {
-		t.Fatalf("post-heal election: %v (seed %d)", err, seed)
+	// Convergence: every replica's applied stream must contain every
+	// acked value and all streams must be identical. Waiting on applied
+	// heights alone is not enough — replicas can agree on a floor while
+	// slots above it are still uncommitted. Elections are retried inside
+	// the loop (rotating candidates): a fresh election fills crash-torn
+	// gaps with no-ops and re-broadcasts adopted and chosen values, which
+	// is the only retransmission path for an accept lost in flight.
+	converged := func() bool {
+		want, _ := checkers[ids[0]].snapshot()
+		have := make(map[string]bool, len(want))
+		for _, v := range want {
+			have[v] = true
+		}
+		for _, v := range acked {
+			if !have[v] {
+				return false
+			}
+		}
+		for _, id := range ids[1:] {
+			got, _ := checkers[id].snapshot()
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
 	}
-
-	// Convergence: all replicas catch up to the same applied count.
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		var max uint64
-		allEq := true
-		for _, r := range replicas {
-			if a := r.Applied(); a > max {
-				max = a
-			}
-		}
-		for _, r := range replicas {
-			if r.Applied() != max {
-				allEq = false
-			}
-		}
-		if allEq && max > 0 {
-			break
-		}
+	deadline := time.Now().Add(30 * time.Second)
+	for attempt := 0; !converged(); attempt++ {
 		if time.Now().After(deadline) {
 			var state []string
 			for _, r := range replicas {
@@ -160,10 +169,11 @@ func TestChaosPaxos(t *testing.T) {
 			}
 			t.Fatalf("replicas never converged: %v (seed %d, events %v)", state, seed, inj.Events())
 		}
+		_ = replicas[attempt%len(replicas)].BecomeLeader(2 * time.Second)
 		for _, r := range replicas {
 			r.Sync()
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(100 * time.Millisecond)
 	}
 
 	// Safety: contiguous exactly-once apply, identical logs everywhere,

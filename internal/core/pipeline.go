@@ -2,9 +2,10 @@ package core
 
 import (
 	"errors"
-	"hash/fnv"
 	"runtime"
 	"sync"
+
+	"prever/internal/mempool"
 )
 
 // The submission pipeline: a bounded worker pool that fans a stream of
@@ -127,10 +128,12 @@ func NewEnginePipeline(e Engine, cfg PipelineConfig) *Pipeline[Update] {
 	return NewPipeline(e.Submit, LaneKey, cfg)
 }
 
+// laneIndex uses the shared key-hashed lane mapping (mempool.LaneIndex),
+// so a pipeline's per-producer lanes line up 1:1 with the mempool lanes
+// that feed consensus: an update stream that is ordered through the
+// pipeline stays ordered through batching.
 func (p *Pipeline[U]) laneIndex(u U) int {
-	h := fnv.New32a()
-	h.Write([]byte(p.laneOf(u)))
-	return int(h.Sum32() % uint32(len(p.lanes)))
+	return mempool.LaneIndex(p.laneOf(u), len(p.lanes))
 }
 
 // Width reports the number of lanes.

@@ -9,19 +9,23 @@ import (
 // errCriticalNames are the mutation entry points whose error carries the
 // outcome the caller exists to produce: Submit* (engine intake — a dropped
 // error silently loses an update), Close (flush/drain failures), the
-// store/ledger/token mutations, and the consensus retry/failover surface
+// store/ledger/token mutations, the consensus retry/failover surface
 // (Propose, BecomeLeader, Crash, Restart — an ignored error there means a
-// value that never committed or a fault that was never injected). The
-// type checker gates the name match: a call is only flagged if its result
-// tuple actually contains an error, so merkle.Tree.Append (returns int)
-// or netsim.Network.Close (returns nothing) never trigger.
+// value that never committed or a fault that was never injected), and the
+// batched async submission surface (ProposeBatch/ProposeAsync/Add start a
+// proposal, Wait resolves a pipelined Pending — dropping any of their
+// errors silently loses a batch outcome). The type checker gates the name
+// match: a call is only flagged if its result tuple actually contains an
+// error, so merkle.Tree.Append (returns int), netsim.Network.Close
+// (returns nothing) or sync.WaitGroup.Wait never trigger.
 func errCriticalName(name string) bool {
 	if strings.HasPrefix(name, "Submit") {
 		return true
 	}
 	switch name {
 	case "Close", "Put", "Delete", "Append", "MarkSpent", "Finalize", "Spend", "Flush", "Sync",
-		"Propose", "BecomeLeader", "Crash", "Restart":
+		"Propose", "BecomeLeader", "Crash", "Restart",
+		"ProposeBatch", "ProposeAsync", "Add", "Wait":
 		return true
 	}
 	return false

@@ -1,0 +1,360 @@
+// Package mempool is the pending pool in front of the consensus
+// substrates (paxos, pbft, the sharded chain): producers add operations,
+// a leader-side Batcher drains them into batched consensus proposals with
+// pipelined in-flight instances, and per-operation acks are demultiplexed
+// back to the producers when a batch commits.
+//
+// Three properties the rest of the system leans on:
+//
+//   - Duplicate suppression. An op whose ID is already pending attaches to
+//     the existing entry (one proposal, many acks); an op whose ID executed
+//     within the dedup TTL is acked immediately. Both survive
+//     failover-client retries: a retried op is never proposed twice while
+//     the pool remembers it (dusk dupemap-style TTL filter).
+//   - Admission control. The pool holds at most Cap unresolved ops
+//     (queued + in flight); beyond that Add returns ErrFull. This is the
+//     system's first overload shedding point — a caller that sees ErrFull
+//     backs off instead of growing an unbounded queue.
+//   - Per-lane ordering. Ops are queued on key-hashed lanes (the same
+//     fnv-1a mapping as core.Pipeline, see LaneIndex) and each lane drains
+//     FIFO, so two ops with the same lane key are always proposed — and,
+//     with in-order dispatch, applied — in submission order.
+package mempool
+
+import (
+	"errors"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"prever/internal/conf"
+)
+
+// Op is one operation awaiting consensus.
+type Op struct {
+	// ID identifies the op for duplicate suppression; it must be unique
+	// per logical operation (retries reuse it).
+	ID string
+	// Lane is the ordering key: ops with equal Lane values are proposed in
+	// submission order. Typically the producer or the row key.
+	Lane string
+	// Data is the opaque payload handed to consensus.
+	Data []byte
+}
+
+// LaneIndex maps an ordering key onto one of width lanes with fnv-1a —
+// the single lane mapping shared by core.Pipeline's worker lanes and the
+// mempool's queues, so an engine pipeline's per-producer lanes feed
+// straight into the matching mempool lanes.
+func LaneIndex(key string, width int) int {
+	if width <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(width))
+}
+
+// Errors returned by Add.
+var (
+	// ErrFull reports that the pool is at its admission cap.
+	ErrFull = errors.New("mempool: pool full")
+	// ErrClosed reports that the pool was closed.
+	ErrClosed = errors.New("mempool: pool closed")
+)
+
+// Config sizes a Pool and its Batcher. Zero fields default from the
+// current conf snapshot (conf.Snapshot), so runtime retuning applies to
+// every pool built afterwards.
+type Config struct {
+	Cap           int           // admission bound on unresolved ops
+	Lanes         int           // key-hashed lane count
+	BatchSize     int           // max ops per consensus instance
+	FlushInterval time.Duration // partial-batch linger
+	MaxInFlight   int           // pipelined consensus instances
+	DedupTTL      time.Duration // executed-ID memory window
+}
+
+// withDefaults fills zero fields from the runtime configuration.
+func (c Config) withDefaults() Config {
+	d := conf.Snapshot()
+	if c.Cap <= 0 {
+		c.Cap = d.MempoolCap
+	}
+	if c.Lanes <= 0 {
+		c.Lanes = d.Lanes
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = d.BatchSize
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = d.FlushInterval
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = d.MaxInFlight
+	}
+	if c.DedupTTL <= 0 {
+		c.DedupTTL = d.DedupTTL
+	}
+	return c
+}
+
+// opState tracks one unresolved op: its ack fan-out and whether it is
+// still queued (false once drained into an in-flight batch).
+type opState struct {
+	acks   []func(error)
+	queued bool
+}
+
+// PoolStats is a snapshot of the pool's admission and dedup counters.
+type PoolStats struct {
+	// Depth is the number of ops queued in lanes (not yet drained).
+	Depth int
+	// InFlight is the number of ops drained into proposals that have not
+	// resolved yet.
+	InFlight int
+	// Admitted counts ops accepted into the pool.
+	Admitted int64
+	// RejectedFull counts ops refused by admission control.
+	RejectedFull int64
+	// DupPending counts adds that attached to an already-pending op.
+	DupPending int64
+	// DupExecuted counts adds acked immediately because the ID executed
+	// within the dedup TTL.
+	DupExecuted int64
+	// Acked / Failed count resolved ops by outcome.
+	Acked  int64
+	Failed int64
+}
+
+// Pool is the pending pool. One Batcher drains it; any number of
+// producers Add concurrently.
+type Pool struct {
+	cfg Config
+
+	mu       sync.Mutex
+	lanes    [][]Op
+	rr       int // round-robin drain cursor
+	states   map[string]*opState
+	queued   int
+	inFlight int
+	executed *TTLFilter
+	notify   chan struct{}
+	closed   bool
+	stats    PoolStats
+}
+
+// NewPool builds a pool; zero Config fields default from conf.
+func NewPool(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	return &Pool{
+		cfg:      cfg,
+		lanes:    make([][]Op, cfg.Lanes),
+		states:   make(map[string]*opState),
+		executed: NewTTLFilter(cfg.DedupTTL),
+		notify:   make(chan struct{}, 1),
+	}
+}
+
+// Config returns the resolved configuration the pool runs with.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Add admits op. done is invoked exactly once with the op's outcome (nil
+// when the op's batch committed). Duplicate IDs attach to the pending op
+// or — if the ID executed within the dedup TTL — are acked immediately;
+// neither is proposed again. Returns ErrFull at the admission cap and
+// ErrClosed after Close; done is not invoked on either error.
+func (p *Pool) Add(op Op, done func(error)) error {
+	if done == nil {
+		done = func(error) {}
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	if st, ok := p.states[op.ID]; ok {
+		st.acks = append(st.acks, done)
+		p.stats.DupPending++
+		p.mu.Unlock()
+		return nil
+	}
+	if p.executed.Has(op.ID) {
+		p.stats.DupExecuted++
+		p.mu.Unlock()
+		done(nil)
+		return nil
+	}
+	if p.queued+p.inFlight >= p.cfg.Cap {
+		p.stats.RejectedFull++
+		p.mu.Unlock()
+		return ErrFull
+	}
+	lane := LaneIndex(op.Lane, len(p.lanes))
+	p.lanes[lane] = append(p.lanes[lane], op)
+	p.states[op.ID] = &opState{acks: []func(error){done}, queued: true}
+	p.queued++
+	p.stats.Admitted++
+	p.mu.Unlock()
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// drainLocked removes up to max ops, round-robin across lanes one op at a
+// time from the drain cursor, so every lane keeps FIFO order and no lane
+// starves. The drained ops move from queued to in-flight.
+func (p *Pool) drainLocked(max int) []Op {
+	if p.queued == 0 || max <= 0 {
+		return nil
+	}
+	out := make([]Op, 0, min(max, p.queued))
+	n := len(p.lanes)
+	for len(out) < max && p.queued > 0 {
+		for i := 0; i < n; i++ {
+			lane := (p.rr + i) % n
+			if len(p.lanes[lane]) == 0 {
+				continue
+			}
+			op := p.lanes[lane][0]
+			p.lanes[lane] = p.lanes[lane][1:]
+			p.rr = (lane + 1) % n
+			p.queued--
+			p.inFlight++
+			if st, ok := p.states[op.ID]; ok {
+				st.queued = false
+			}
+			out = append(out, op)
+			break
+		}
+		if len(out) == 0 {
+			break // all lanes empty despite queued>0: unreachable guard
+		}
+		if p.queued == 0 || len(out) == max {
+			break
+		}
+	}
+	return out
+}
+
+// WaitBatch blocks until a batch is ready and drains it: immediately once
+// BatchSize ops are queued, or after FlushInterval with whatever arrived.
+// It returns nil when stop closes or the pool closes. Single consumer —
+// the Batcher's dispatch loop.
+func (p *Pool) WaitBatch(stop <-chan struct{}) []Op {
+	var flush *time.Timer
+	var flushC <-chan time.Time
+	defer func() {
+		if flush != nil {
+			flush.Stop()
+		}
+	}()
+	flushing := false
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil
+		}
+		if p.queued >= p.cfg.BatchSize || (p.queued > 0 && (flushing || p.cfg.FlushInterval <= 0)) {
+			ops := p.drainLocked(p.cfg.BatchSize)
+			p.mu.Unlock()
+			return ops
+		}
+		armed := p.queued > 0
+		p.mu.Unlock()
+		if armed && flushC == nil {
+			flush = time.NewTimer(p.cfg.FlushInterval)
+			flushC = flush.C
+		}
+		select {
+		case <-stop:
+			return nil
+		case <-p.notify:
+			// new op arrived; re-check fill level
+		case <-flushC:
+			flushing = true
+			flushC = nil
+		}
+	}
+}
+
+// Resolve completes a drained batch: every op's acks fire with err, and
+// on success the IDs enter the executed filter so late retries are
+// suppressed. On failure the ops leave the pool entirely — a retry
+// re-admits (and re-proposes) them.
+func (p *Pool) Resolve(ops []Op, err error) {
+	var acks []func(error)
+	p.mu.Lock()
+	for _, op := range ops {
+		st, ok := p.states[op.ID]
+		if !ok || st.queued {
+			continue // not this batch's op (defensive)
+		}
+		delete(p.states, op.ID)
+		p.inFlight--
+		acks = append(acks, st.acks...)
+		if err == nil {
+			p.executed.Add(op.ID)
+			p.stats.Acked++
+		} else {
+			p.stats.Failed++
+		}
+	}
+	p.mu.Unlock()
+	for _, ack := range acks {
+		ack(err)
+	}
+}
+
+// Close rejects future adds, wakes the batch waiter, and fails every
+// queued (undrained) op with ErrClosed. In-flight batches resolve through
+// Resolve as usual.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	var acks []func(error)
+	for lane, ops := range p.lanes {
+		for _, op := range ops {
+			if st, ok := p.states[op.ID]; ok && st.queued {
+				delete(p.states, op.ID)
+				p.queued--
+				acks = append(acks, st.acks...)
+				p.stats.Failed++
+			}
+		}
+		p.lanes[lane] = nil
+	}
+	p.mu.Unlock()
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+	for _, ack := range acks {
+		ack(ErrClosed)
+	}
+	return nil
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Depth = p.queued
+	s.InFlight = p.inFlight
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

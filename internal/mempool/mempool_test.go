@@ -1,0 +1,394 @@
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- TTLFilter -----------------------------------------------------------
+
+func TestTTLFilterDupAndEviction(t *testing.T) {
+	f := NewTTLFilter(time.Minute)
+	now := time.Unix(0, 0)
+	f.now = func() time.Time { return now }
+	f.rotated = now
+
+	if !f.Add("a") {
+		t.Fatal("first add of a reported duplicate")
+	}
+	if f.Add("a") {
+		t.Fatal("second add of a reported fresh")
+	}
+	if !f.Has("a") {
+		t.Fatal("a not remembered")
+	}
+
+	// One TTL later: a has rotated into the previous generation but is
+	// still visible.
+	now = now.Add(time.Minute)
+	if !f.Has("a") {
+		t.Fatal("a evicted before its TTL guarantee")
+	}
+	// Two TTLs after the last sighting: gone.
+	now = now.Add(time.Minute)
+	if f.Has("a") {
+		t.Fatal("a survived two full TTLs")
+	}
+	if !f.Add("a") {
+		t.Fatal("evicted key not re-addable")
+	}
+}
+
+func TestTTLFilterDuplicateRefreshesLifetime(t *testing.T) {
+	f := NewTTLFilter(time.Minute)
+	now := time.Unix(0, 0)
+	f.now = func() time.Time { return now }
+	f.rotated = now
+
+	f.Add("a")
+	now = now.Add(time.Minute) // a in prev generation
+	if f.Add("a") {
+		t.Fatal("still-live key reported fresh")
+	}
+	// The duplicate sighting promoted a into the current generation: two
+	// more TTLs from *now* must pass before it ages out.
+	now = now.Add(time.Minute)
+	if !f.Has("a") {
+		t.Fatal("refreshed key evicted too early")
+	}
+	now = now.Add(time.Minute)
+	if f.Has("a") {
+		t.Fatal("refreshed key never evicted")
+	}
+}
+
+func TestTTLFilterQuietPeriodClears(t *testing.T) {
+	f := NewTTLFilter(time.Minute)
+	now := time.Unix(0, 0)
+	f.now = func() time.Time { return now }
+	f.rotated = now
+	f.Add("a")
+	now = now.Add(time.Hour)
+	if f.Has("a") {
+		t.Fatal("key survived an hour with a one-minute TTL")
+	}
+	if f.Len() != 0 {
+		t.Fatalf("Len = %d after quiet period, want 0", f.Len())
+	}
+}
+
+// --- Pool ----------------------------------------------------------------
+
+// drainAll pulls every queued op without a batcher.
+func drainAll(p *Pool) []Op {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drainLocked(1 << 30)
+}
+
+func TestPoolCapRejection(t *testing.T) {
+	p := NewPool(Config{Cap: 2, Lanes: 1, BatchSize: 64})
+	if err := p.Add(Op{ID: "1", Lane: "a"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(Op{ID: "2", Lane: "a"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(Op{ID: "3", Lane: "a"}, nil); !errors.Is(err, ErrFull) {
+		t.Fatalf("add over cap: err = %v, want ErrFull", err)
+	}
+	// In-flight ops still count against the cap.
+	if got := len(drainAll(p)); got != 2 {
+		t.Fatalf("drained %d, want 2", got)
+	}
+	if err := p.Add(Op{ID: "4", Lane: "a"}, nil); !errors.Is(err, ErrFull) {
+		t.Fatalf("add with 2 in flight: err = %v, want ErrFull", err)
+	}
+	// Resolution frees capacity.
+	p.Resolve([]Op{{ID: "1"}, {ID: "2"}}, nil)
+	if err := p.Add(Op{ID: "4", Lane: "a"}, nil); err != nil {
+		t.Fatalf("add after resolve: %v", err)
+	}
+	s := p.Stats()
+	if s.RejectedFull != 2 || s.Admitted != 3 {
+		t.Fatalf("stats = %+v, want 2 rejections / 3 admissions", s)
+	}
+}
+
+func TestPoolDrainOrderingPerLane(t *testing.T) {
+	p := NewPool(Config{Cap: 100, Lanes: 4, BatchSize: 100})
+	var want []string
+	for producer := 0; producer < 5; producer++ {
+		for i := 0; i < 6; i++ {
+			id := fmt.Sprintf("p%d-%d", producer, i)
+			op := Op{ID: id, Lane: fmt.Sprintf("producer-%d", producer)}
+			if err := p.Add(op, nil); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, id)
+		}
+	}
+	got := drainAll(p)
+	if len(got) != len(want) {
+		t.Fatalf("drained %d ops, want %d", len(got), len(want))
+	}
+	// Per-lane FIFO: for each producer the drained subsequence matches
+	// submission order.
+	seen := map[string]int{}
+	for _, op := range got {
+		idx := seen[op.Lane]
+		seen[op.Lane]++
+		wantID := fmt.Sprintf("%s-%d", "p"+op.Lane[len("producer-"):], idx)
+		if op.ID != wantID {
+			t.Fatalf("lane %s position %d: got %s, want %s", op.Lane, idx, op.ID, wantID)
+		}
+	}
+}
+
+func TestPoolDuplicateSuppression(t *testing.T) {
+	p := NewPool(Config{Cap: 10, Lanes: 1, BatchSize: 10})
+	var acks atomic.Int64
+	ack := func(err error) {
+		if err != nil {
+			t.Errorf("ack error: %v", err)
+		}
+		acks.Add(1)
+	}
+	// Pending duplicate: attaches, does not requeue.
+	if err := p.Add(Op{ID: "x", Lane: "a"}, ack); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(Op{ID: "x", Lane: "a"}, ack); err != nil {
+		t.Fatal(err)
+	}
+	ops := drainAll(p)
+	if len(ops) != 1 {
+		t.Fatalf("duplicate was re-queued: drained %d ops", len(ops))
+	}
+	// In-flight duplicate: still attaches.
+	if err := p.Add(Op{ID: "x", Lane: "a"}, ack); err != nil {
+		t.Fatal(err)
+	}
+	p.Resolve(ops, nil)
+	if got := acks.Load(); got != 3 {
+		t.Fatalf("acks = %d, want 3 (fan-out to every duplicate submitter)", got)
+	}
+	// Executed duplicate: acked immediately, never re-queued.
+	if err := p.Add(Op{ID: "x", Lane: "a"}, ack); err != nil {
+		t.Fatal(err)
+	}
+	if got := acks.Load(); got != 4 {
+		t.Fatalf("executed duplicate not acked immediately (acks = %d)", got)
+	}
+	if got := len(drainAll(p)); got != 0 {
+		t.Fatalf("executed duplicate re-queued: drained %d", got)
+	}
+	s := p.Stats()
+	if s.DupPending != 2 || s.DupExecuted != 1 {
+		t.Fatalf("stats = %+v, want DupPending 2 / DupExecuted 1", s)
+	}
+}
+
+func TestPoolFailedOpMayRetry(t *testing.T) {
+	p := NewPool(Config{Cap: 10, Lanes: 1, BatchSize: 10})
+	var failed atomic.Int64
+	if err := p.Add(Op{ID: "x", Lane: "a"}, func(err error) {
+		if err != nil {
+			failed.Add(1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ops := drainAll(p)
+	p.Resolve(ops, errors.New("leader died"))
+	if failed.Load() != 1 {
+		t.Fatal("failure not delivered")
+	}
+	// A failed op left the pool: the retry is admitted and proposed anew.
+	if err := p.Add(Op{ID: "x", Lane: "a"}, nil); err != nil {
+		t.Fatalf("retry after failure rejected: %v", err)
+	}
+	if got := len(drainAll(p)); got != 1 {
+		t.Fatalf("retry not queued (drained %d)", got)
+	}
+}
+
+func TestPoolCloseFailsQueuedOps(t *testing.T) {
+	p := NewPool(Config{Cap: 10, Lanes: 2, BatchSize: 10})
+	var got atomic.Value
+	if err := p.Add(Op{ID: "x", Lane: "a"}, func(err error) { got.Store(err) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err, _ := got.Load().(error); !errors.Is(err, ErrClosed) {
+		t.Fatalf("queued op resolved with %v, want ErrClosed", err)
+	}
+	if err := p.Add(Op{ID: "y", Lane: "a"}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("add after close: %v, want ErrClosed", err)
+	}
+}
+
+// --- Batcher -------------------------------------------------------------
+
+// stubProposer records batches and resolves them when released.
+type stubProposer struct {
+	mu       sync.Mutex
+	batches  [][][]byte
+	inflight atomic.Int64
+	maxInFl  atomic.Int64
+	release  chan error
+}
+
+func newStubProposer(buffered int) *stubProposer {
+	return &stubProposer{release: make(chan error, buffered)}
+}
+
+func (s *stubProposer) propose(ops [][]byte) func() error {
+	s.mu.Lock()
+	cp := make([][]byte, len(ops))
+	copy(cp, ops)
+	s.batches = append(s.batches, cp)
+	s.mu.Unlock()
+	n := s.inflight.Add(1)
+	for {
+		m := s.maxInFl.Load()
+		if n <= m || s.maxInFl.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	return func() error {
+		defer s.inflight.Add(-1)
+		return <-s.release
+	}
+}
+
+func (s *stubProposer) batchCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.batches)
+}
+
+func TestBatcherBatchesAndPipelines(t *testing.T) {
+	p := NewPool(Config{Cap: 1000, Lanes: 4, BatchSize: 8, FlushInterval: time.Millisecond, MaxInFlight: 3, DedupTTL: time.Minute})
+	prop := newStubProposer(1000)
+	b := NewBatcher(p, prop.propose)
+	defer b.Stop()
+
+	const ops = 64
+	var wg sync.WaitGroup
+	wg.Add(ops)
+	for i := 0; i < ops; i++ {
+		err := p.Add(Op{ID: fmt.Sprintf("op-%d", i), Lane: fmt.Sprintf("l%d", i%4)}, func(err error) {
+			if err != nil {
+				t.Errorf("ack: %v", err)
+			}
+			wg.Done()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < ops; i++ {
+		prop.release <- nil
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("acks never arrived")
+	}
+	st := b.Stats()
+	if st.Ops != ops {
+		t.Fatalf("batcher proposed %d ops, want %d", st.Ops, ops)
+	}
+	if st.Batches >= ops {
+		t.Fatalf("no batching happened: %d batches for %d ops", st.Batches, ops)
+	}
+	if st.MaxSize > 8 {
+		t.Fatalf("batch overflow: max size %d > 8", st.MaxSize)
+	}
+}
+
+func TestBatcherRespectsMaxInFlight(t *testing.T) {
+	p := NewPool(Config{Cap: 1000, Lanes: 1, BatchSize: 1, FlushInterval: 0, MaxInFlight: 2, DedupTTL: time.Minute})
+	prop := newStubProposer(0) // unbuffered: proposals block until released
+	b := NewBatcher(p, prop.propose)
+
+	const ops = 10
+	for i := 0; i < ops; i++ {
+		if err := p.Add(Op{ID: fmt.Sprintf("op-%d", i), Lane: "l"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the dispatch loop hit the in-flight wall, then drain.
+	deadline := time.After(5 * time.Second)
+	for released := 0; released < ops; released++ {
+		select {
+		case prop.release <- nil:
+		case <-deadline:
+			t.Fatalf("batcher wedged after %d releases", released)
+		}
+	}
+	b.Stop()
+	if got := prop.maxInFl.Load(); got > 2 {
+		t.Fatalf("max concurrent in-flight = %d, want <= 2", got)
+	}
+	if prop.batchCount() != ops {
+		t.Fatalf("proposed %d batches, want %d", prop.batchCount(), ops)
+	}
+}
+
+func TestBatcherDispatchOrderPerLane(t *testing.T) {
+	p := NewPool(Config{Cap: 1000, Lanes: 2, BatchSize: 4, FlushInterval: time.Millisecond, MaxInFlight: 4, DedupTTL: time.Minute})
+	prop := newStubProposer(1000)
+	b := NewBatcher(p, prop.propose)
+	defer b.Stop()
+	const ops = 40
+	var wg sync.WaitGroup
+	wg.Add(ops)
+	for i := 0; i < ops; i++ {
+		lane := fmt.Sprintf("lane-%d", i%2)
+		payload := fmt.Sprintf("%s/%d", lane, i/2)
+		if err := p.Add(Op{ID: payload, Lane: lane, Data: []byte(payload)}, func(error) { wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+		prop.release <- nil
+	}
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("acks never arrived")
+	}
+	b.Stop()
+	// Flatten batches in dispatch order; each lane's payloads must appear
+	// in submission order.
+	prop.mu.Lock()
+	defer prop.mu.Unlock()
+	next := map[int]int{}
+	total := 0
+	for _, batch := range prop.batches {
+		for _, data := range batch {
+			var laneN, idx int
+			if _, err := fmt.Sscanf(string(data), "lane-%d/%d", &laneN, &idx); err != nil {
+				t.Fatalf("bad payload %q: %v", data, err)
+			}
+			if idx != next[laneN] {
+				t.Fatalf("lane %d proposed out of order: got %d, want %d", laneN, idx, next[laneN])
+			}
+			next[laneN]++
+			total++
+		}
+	}
+	if total != ops {
+		t.Fatalf("proposed %d ops, want %d", total, ops)
+	}
+}

@@ -1,0 +1,93 @@
+package mempool
+
+import (
+	"sync"
+	"time"
+)
+
+// TTLFilter is a TTL-keyed membership filter in the dusk dupemap/tmpmap
+// style: two map generations, rotated when the TTL elapses. A key added
+// now stays visible for at least TTL and at most 2×TTL, and eviction is
+// O(1) amortized — rotation drops a whole generation instead of scanning
+// entries. The mempool uses it to remember executed operation IDs, so a
+// failover-client retry of an already-executed op is acked instead of
+// re-proposed.
+type TTLFilter struct {
+	mu        sync.Mutex
+	ttl       time.Duration
+	cur, prev map[string]struct{}
+	rotated   time.Time
+	now       func() time.Time // injectable clock for eviction tests
+}
+
+// NewTTLFilter builds a filter whose keys live between ttl and 2×ttl.
+func NewTTLFilter(ttl time.Duration) *TTLFilter {
+	if ttl <= 0 {
+		ttl = time.Minute
+	}
+	return &TTLFilter{
+		ttl:     ttl,
+		cur:     make(map[string]struct{}),
+		prev:    make(map[string]struct{}),
+		now:     time.Now,
+		rotated: time.Now(),
+	}
+}
+
+// rotateLocked ages out the previous generation once the TTL has elapsed.
+// Two rotations with no intervening Add clear the filter entirely.
+func (f *TTLFilter) rotateLocked() {
+	now := f.now()
+	for now.Sub(f.rotated) >= f.ttl {
+		f.prev = f.cur
+		f.cur = make(map[string]struct{})
+		f.rotated = f.rotated.Add(f.ttl)
+		// A long quiet period would loop here many times; after two
+		// rotations both generations are empty, so jump to now.
+		if len(f.prev) == 0 && len(f.cur) == 0 {
+			f.rotated = now
+			break
+		}
+	}
+}
+
+// Add records key. It returns true if the key was fresh (not present in
+// either live generation) and false for a duplicate.
+func (f *TTLFilter) Add(key string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rotateLocked()
+	if _, ok := f.cur[key]; ok {
+		return false
+	}
+	if _, ok := f.prev[key]; ok {
+		// Refresh: promote into the current generation so the key's
+		// lifetime restarts from this sighting.
+		f.cur[key] = struct{}{}
+		return false
+	}
+	f.cur[key] = struct{}{}
+	return true
+}
+
+// Has reports whether key is still remembered.
+func (f *TTLFilter) Has(key string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rotateLocked()
+	if _, ok := f.cur[key]; ok {
+		return true
+	}
+	_, ok := f.prev[key]
+	return ok
+}
+
+// Len reports how many keys are live (both generations; a key promoted by
+// a duplicate Add counts once per generation it appears in — Len is a
+// capacity gauge, not an exact cardinality).
+func (f *TTLFilter) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rotateLocked()
+	return len(f.cur) + len(f.prev)
+}

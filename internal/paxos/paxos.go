@@ -274,16 +274,45 @@ func (r *Replica) IsLeader() bool {
 	return r.leading
 }
 
-// Propose replicates value into the next log slot. Only valid on the
-// leader. Blocks until the slot is chosen and applied locally, or the
-// timeout elapses. If the slot was chosen with a DIFFERENT value (a
-// leader turnover re-proposed into it), Propose returns ErrSlotLost: the
-// caller's value was not committed and may be retried.
-func (r *Replica) Propose(value []byte, timeout time.Duration) (uint64, error) {
+// PendingProposal is an in-flight proposal: its slot is already assigned
+// and the accept round started; Wait parks until the outcome is known.
+// The eager slot assignment is what lets a batcher pipeline proposals —
+// starting proposals in order fixes their log order before any of them
+// commits.
+type PendingProposal struct {
+	r    *Replica
+	slot uint64
+	w    *slotWaiter
+}
+
+// Slot returns the log slot this proposal was assigned.
+func (p *PendingProposal) Slot() uint64 { return p.slot }
+
+// Wait blocks until the slot is chosen and applied locally or the timeout
+// elapses. ErrSlotLost means a competing proposal took the slot; the
+// value was not committed there and may be retried.
+func (p *PendingProposal) Wait(timeout time.Duration) (uint64, error) {
+	select {
+	case <-p.w.done:
+		if p.w.lost {
+			return 0, ErrSlotLost
+		}
+		return p.slot, nil
+	case <-time.After(timeout):
+		p.r.mu.Lock()
+		delete(p.r.waiters, p.slot)
+		p.r.mu.Unlock()
+		return 0, fmt.Errorf("paxos: proposal for slot %d timed out", p.slot)
+	}
+}
+
+// ProposeAsync assigns the next log slot to value and starts its accept
+// round without waiting for the outcome. Only valid on the leader.
+func (r *Replica) ProposeAsync(value []byte) (*PendingProposal, error) {
 	r.mu.Lock()
 	if !r.leading {
 		r.mu.Unlock()
-		return 0, errors.New("paxos: not the leader")
+		return nil, errors.New("paxos: not the leader")
 	}
 	slot := r.nextSlot
 	r.nextSlot++
@@ -293,19 +322,20 @@ func (r *Replica) Propose(value []byte, timeout time.Duration) (uint64, error) {
 	r.mu.Unlock()
 
 	r.sendAccept(a)
+	return &PendingProposal{r: r, slot: slot, w: w}, nil
+}
 
-	select {
-	case <-w.done:
-		if w.lost {
-			return 0, ErrSlotLost
-		}
-		return slot, nil
-	case <-time.After(timeout):
-		r.mu.Lock()
-		delete(r.waiters, slot)
-		r.mu.Unlock()
-		return 0, fmt.Errorf("paxos: proposal for slot %d timed out", slot)
+// Propose replicates value into the next log slot. Only valid on the
+// leader. Blocks until the slot is chosen and applied locally, or the
+// timeout elapses. If the slot was chosen with a DIFFERENT value (a
+// leader turnover re-proposed into it), Propose returns ErrSlotLost: the
+// caller's value was not committed and may be retried.
+func (r *Replica) Propose(value []byte, timeout time.Duration) (uint64, error) {
+	p, err := r.ProposeAsync(value)
+	if err != nil {
+		return 0, err
 	}
+	return p.Wait(timeout)
 }
 
 // Crash detaches the replica from the network, simulating a process

@@ -1,0 +1,140 @@
+package pbft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"prever/internal/netsim"
+)
+
+func TestBatchEncodeDecodeRoundTrip(t *testing.T) {
+	ops := [][]byte{[]byte("a"), []byte(""), []byte("op-3")}
+	got, ok := DecodeBatch(EncodeBatch(ops))
+	if !ok {
+		t.Fatal("encoded batch did not decode")
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if string(got[i]) != string(ops[i]) {
+			t.Fatalf("op %d = %q, want %q", i, got[i], ops[i])
+		}
+	}
+	if _, ok := DecodeBatch([]byte("bare op")); ok {
+		t.Fatal("bare op decoded as batch")
+	}
+	if _, ok := DecodeBatch([]byte("pbB1 not json")); ok {
+		t.Fatal("corrupt batch body decoded as batch")
+	}
+}
+
+func TestSubmitAsyncDuplicateGetsClosedChannel(t *testing.T) {
+	c := newCluster(t, 1, Options{}, netsim.Config{})
+	primary := c.replicas[0]
+	if err := primary.Submit("client", 1, []byte("op"), 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	done := primary.SubmitAsync("client", 1, []byte("op"))
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("duplicate of executed request did not resolve immediately")
+	}
+	if primary.Executed() != 1 {
+		t.Fatalf("duplicate re-executed: %d instances", primary.Executed())
+	}
+}
+
+func TestClientSubmitBatchExecutesAllOpsInOrder(t *testing.T) {
+	c := newCluster(t, 1, Options{}, netsim.Config{Jitter: 100 * time.Microsecond, Seed: 5})
+	client, err := NewClient(c.net, c.replicas, "batcher", ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cluster applier records raw ops; decode batches like a real
+	// applier would.
+	ops := [][]byte{[]byte("b-0"), []byte("b-1"), []byte("b-2")}
+	if err := client.SubmitBatch(ops, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := c.appliedAt("p0")
+	if len(got) != 1 {
+		t.Fatalf("applied %d requests, want 1 batch request", len(got))
+	}
+	decoded, ok := DecodeBatch([]byte(got[0]))
+	if !ok || len(decoded) != 3 {
+		t.Fatalf("applied request did not decode as 3-op batch (ok=%v)", ok)
+	}
+	for i := range ops {
+		if string(decoded[i]) != string(ops[i]) {
+			t.Fatalf("batch op %d = %q, want %q", i, decoded[i], ops[i])
+		}
+	}
+}
+
+func TestClientStartPipelinedKeepsOrder(t *testing.T) {
+	c := newCluster(t, 1, Options{}, netsim.Config{Jitter: 100 * time.Microsecond, Seed: 9})
+	client, err := NewClient(c.net, c.replicas, "pipeliner", ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror the Batcher's dispatch pattern: Start batches in order, wait
+	// on all. Every replica must apply them in start order.
+	const n = 8
+	pend := make([]*Pending, n)
+	for i := range pend {
+		pend[i] = client.StartBatch([][]byte{[]byte(fmt.Sprintf("pb-%d", i))})
+	}
+	for i, p := range pend {
+		if err := p.Wait(5 * time.Second); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for _, r := range c.replicas {
+		for time.Now().Before(deadline) && r.Executed() < n {
+			time.Sleep(time.Millisecond)
+		}
+		got := c.appliedAt(r.ID())
+		if len(got) != n {
+			t.Fatalf("%s applied %d requests, want %d", r.ID(), len(got), n)
+		}
+		for i, raw := range got {
+			ops, ok := DecodeBatch([]byte(raw))
+			if !ok || len(ops) != 1 {
+				t.Fatalf("%s request %d not a 1-op batch", r.ID(), i)
+			}
+			if want := fmt.Sprintf("pb-%d", i); string(ops[0]) != want {
+				t.Fatalf("%s applied[%d] = %q, want %q", r.ID(), i, ops[0], want)
+			}
+		}
+	}
+}
+
+func TestPendingWaitRetriesSameSeqAcrossPrimaryCrash(t *testing.T) {
+	c := newCluster(t, 1, Options{ViewTimeout: 150 * time.Millisecond}, netsim.Config{})
+	client, err := NewClient(c.net, c.replicas, "crashy", ClientOptions{TryTimeout: 400 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The eager attempt lands on the primary; crash it before it can run
+	// the three-phase protocol, forcing Wait through the failover loop
+	// with the same client sequence number.
+	c.net.Crash("p0")
+	p := client.StartBatch([][]byte{[]byte("survive-crash")})
+	if err := p.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Survivors execute the batch exactly once.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, r := range c.replicas[1:] {
+		for time.Now().Before(deadline) && r.Executed() < 1 {
+			time.Sleep(time.Millisecond)
+		}
+		if got := r.Executed(); got != 1 {
+			t.Fatalf("%s executed %d instances, want 1", r.ID(), got)
+		}
+	}
+}

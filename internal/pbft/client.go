@@ -55,7 +55,13 @@ func NewClient(net *netsim.Network, replicas []*Replica, name string, opts Clien
 // Submit orders an operation, retrying across view changes and primary
 // crashes until it executes or the budget elapses.
 func (c *Client) Submit(op []byte, budget time.Duration) error {
-	seq := c.seq.Add(1)
+	return c.submit(c.seq.Add(1), op, budget)
+}
+
+// submit runs the retry loop for one (seq, op) pair. Every attempt reuses
+// seq, so the cluster's executed-request dedup collapses retries into
+// exactly one execution.
+func (c *Client) submit(seq uint64, op []byte, budget time.Duration) error {
 	deadline := time.Now().Add(budget)
 	backoff := c.opts.Backoff
 	lastErr := errors.New("pbft: no live replica")

@@ -198,6 +198,7 @@ type Replica struct {
 	vcs        map[uint64]map[string]viewChangeMsg
 	inVC       bool
 	vcTarget   uint64 // highest view this replica has voted a view change for
+	vcSolo     int    // timeouts spent in a view change without f+1 support
 	vcTimers   map[Digest]*vcTimer
 	execLog    map[uint64]execEntry            // executed batches, served to restarted peers
 	stateVotes map[uint64]map[string]execEntry // state-transfer replies per seq, per sender
@@ -346,6 +347,22 @@ func (r *Replica) broadcast(msgType string, v any) {
 // timer, so a dead primary is eventually replaced and the caller can
 // retry.
 func (r *Replica) Submit(client string, clientSeq uint64, op []byte, timeout time.Duration) error {
+	done := r.SubmitAsync(client, clientSeq, op)
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return errors.New("pbft: request timed out")
+	}
+}
+
+// SubmitAsync proposes an operation without waiting: the returned channel
+// closes when the request executes locally. A duplicate of an already
+// executed request gets a closed channel immediately. The eager ingestion
+// is what lets a batching client pipeline requests — on a stable primary,
+// requests submitted in order are sequenced (pre-prepared) in order
+// before any of them commits.
+func (r *Replica) SubmitAsync(client string, clientSeq uint64, op []byte) <-chan struct{} {
 	req := Request{Client: client, Seq: clientSeq, Op: op}
 	d := digestOf([]Request{req})
 	done := make(chan struct{})
@@ -353,28 +370,29 @@ func (r *Replica) Submit(client string, clientSeq uint64, op []byte, timeout tim
 	r.mu.Lock()
 	if r.executedR[reqKey(req)] {
 		r.mu.Unlock()
-		return nil // duplicate of an executed request
+		close(done) // duplicate of an executed request
+		return done
 	}
 	r.waiters[d] = append(r.waiters[d], done)
+	// Arm the watchdog on the primary too: a primary that proposes into a
+	// view whose quorum has collapsed (e.g. enough backups are wedged in a
+	// view change nobody else joins) would otherwise stall the request
+	// forever with no timer anywhere to force a view change.
+	r.armViewChangeTimerLocked(req)
 	isPrimary := r.primaryLocked(r.view) == r.id && !r.inVC
 	if isPrimary {
-		r.enqueueLocked(req)
+		if !r.inFlightLocked(req) {
+			r.enqueueLocked(req)
+		}
 		r.mu.Unlock()
 	} else {
 		// Broadcast the request so every replica arms a view-change
 		// timer; the primary picks it up for ordering, and if the primary
 		// is dead, f+1 timers expire and a view change goes through.
-		r.armViewChangeTimerLocked(req)
 		r.mu.Unlock()
 		r.broadcast(msgRequest, req)
 	}
-
-	select {
-	case <-done:
-		return nil
-	case <-time.After(timeout):
-		return errors.New("pbft: request timed out")
-	}
+	return done
 }
 
 func reqKey(req Request) string { return fmt.Sprintf("%s/%d", req.Client, req.Seq) }
@@ -418,6 +436,16 @@ func (r *Replica) onViewChangeTimeout(d Digest, req Request) {
 		r.armViewChangeTimerLocked(req)
 	}
 	if !r.inVC {
+		if r.primaryLocked(r.view) == r.id && !r.inFlightLocked(req) {
+			// This replica became primary after the request was armed
+			// and never proposed it: propose it rather than view-changing
+			// away from itself. If the request IS in flight, the view's
+			// quorum has collapsed — re-proposing into the same dead view
+			// cannot help, so fall through to the view change.
+			r.enqueueLocked(req)
+			r.mu.Unlock()
+			return
+		}
 		next := r.view + 1
 		if r.vcTarget+1 > next {
 			next = r.vcTarget + 1
@@ -432,9 +460,50 @@ func (r *Replica) onViewChangeTimeout(d Digest, req Request) {
 		r.StartViewChange(target + 1)
 		return
 	}
+	// This replica's vote is a minority nobody joined. Retransmit it once
+	// (it may have been lost in a partition); if that still gathers no
+	// support, the rest of the cluster is almost certainly healthy in the
+	// installed view and this replica is wedged deaf — voting for a view
+	// change nobody wants while dropping every current-view message. Give
+	// the vote up: rejoin the installed view and state-sync whatever was
+	// committed while deaf (a commit this replica already voted for may
+	// have completed without it). The vote itself stays counted at peers,
+	// and the watchdog re-armed above still forces a fresh view change if
+	// the request stays stalled.
+	if r.vcSolo >= 1 {
+		r.vcSolo = 0
+		r.inVC = false
+		r.mu.Unlock()
+		r.Sync()
+		return
+	}
+	r.vcSolo++
 	vc := viewChangeMsg{NewView: target, Stable: r.stable, Prepared: r.preparedSetLocked(), Replica: r.id}
 	r.mu.Unlock()
 	r.broadcast(msgViewChange, vc)
+}
+
+// inFlightLocked reports whether req sits in the batch of an un-executed
+// instance (or the batch under construction) — i.e. it has been proposed
+// and is waiting on votes, so proposing it again would be futile.
+func (r *Replica) inFlightLocked(req Request) bool {
+	k := reqKey(req)
+	for _, p := range r.pending {
+		if reqKey(p) == k {
+			return true
+		}
+	}
+	for _, inst := range r.insts {
+		if inst.executed || !inst.prePrepared {
+			continue
+		}
+		for _, b := range inst.batch {
+			if reqKey(b) == k {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // enqueueLocked adds a request to the primary's batch, flushing when full
@@ -574,7 +643,14 @@ func (r *Replica) onRequest(req Request) {
 		r.mu.Unlock()
 		return
 	}
-	r.enqueueLocked(req)
+	r.armViewChangeTimerLocked(req)
+	// A client retry (same client seq) or a post-view-change revival can
+	// re-deliver a request that is already proposed and waiting on votes;
+	// a second instance would be a wasted consensus round (execution
+	// dedups it to a no-op).
+	if !r.inFlightLocked(req) {
+		r.enqueueLocked(req)
+	}
 	r.mu.Unlock()
 }
 
@@ -767,6 +843,7 @@ func (r *Replica) StartViewChange(newView uint64) {
 	}
 	r.inVC = true
 	r.vcTarget = newView
+	r.vcSolo = 0
 	vc := viewChangeMsg{
 		NewView:  newView,
 		Stable:   r.stable,
@@ -866,12 +943,19 @@ func (r *Replica) onViewChange(vc viewChangeMsg) {
 		nv.PrePrepares = append(nv.PrePrepares, prePrepareMsg{View: vc.NewView, Seq: seq, Digest: digestOf(nil)})
 	}
 	sort.Slice(nv.PrePrepares, func(i, j int) bool { return nv.PrePrepares[i].Seq < nv.PrePrepares[j].Seq })
-	r.enterViewLocked(vc.NewView, maxSeq)
+	revive := r.enterViewLocked(vc.NewView, maxSeq)
 	r.mu.Unlock()
 	r.broadcast(msgNewView, nv)
 	// Process own re-proposals.
 	for _, pp := range nv.PrePrepares {
 		r.reproposeAsPrimary(pp)
+	}
+	// Propose every request this replica was merely watching as a backup.
+	// Executed-request dedup makes overlap with a re-proposed prepared
+	// batch harmless, but a request in nobody's batch has no other way
+	// into the new view.
+	for _, req := range revive {
+		r.onRequest(req)
 	}
 }
 
@@ -903,9 +987,15 @@ func (r *Replica) onNewView(from string, nv newViewMsg) {
 		r.mu.Unlock()
 		return
 	}
-	r.enterViewLocked(nv.View, nv.NextSeq)
+	revive := r.enterViewLocked(nv.View, nv.NextSeq)
 	pps := nv.PrePrepares
 	r.mu.Unlock()
+	// Relay watched requests to the new primary: it may never have seen
+	// them (partitioned, or the request raced the view change), and a
+	// backup cannot propose on their behalf.
+	for _, req := range revive {
+		r.send(from, msgRequest, req)
+	}
 	// Reset in-flight instances that were not executed, then process the
 	// new primary's re-proposals through the normal path.
 	for _, pp := range pps {
@@ -919,10 +1009,17 @@ func (r *Replica) onNewView(from string, nv newViewMsg) {
 	}
 }
 
-// enterViewLocked switches the replica into a new view.
-func (r *Replica) enterViewLocked(view, nextSeq uint64) {
+// enterViewLocked switches the replica into a new view. It returns the
+// watched (armed, un-executed) requests so the caller can revive them in
+// the new view: the new primary must propose them and backups must relay
+// them to it. A request that arrived while the old view was collapsing is
+// held only in vcTimers — nobody's pending batch — so without this
+// handoff the timers drive view change after view change while no
+// primary ever proposes the request: a permanent livelock.
+func (r *Replica) enterViewLocked(view, nextSeq uint64) []Request {
 	r.view = view
 	r.inVC = false
+	r.vcSolo = 0
 	if view > r.vcTarget {
 		r.vcTarget = view
 	}
@@ -958,6 +1055,7 @@ func (r *Replica) enterViewLocked(view, nextSeq uint64) {
 	for _, req := range rearm {
 		r.armViewChangeTimerLocked(req)
 	}
+	return rearm
 }
 
 // --- crash / restart / state transfer ---

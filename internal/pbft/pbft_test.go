@@ -215,7 +215,9 @@ func TestViewChangePreservesExecutedState(t *testing.T) {
 	for time.Now().Before(deadline) && backup.View() == 0 {
 		time.Sleep(5 * time.Millisecond)
 	}
-	if err := backup.Submit("client", 101, []byte("post-vc"), 3*time.Second); err != nil {
+	// Generous timeout: under -race with the whole suite in parallel on few
+	// cores, the view change itself can take several seconds of wall clock.
+	if err := backup.Submit("client", 101, []byte("post-vc"), 10*time.Second); err != nil {
 		t.Fatalf("post-view-change submit: %v", err)
 	}
 	got := c.appliedAt("p1")
