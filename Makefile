@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-json vet fmt fmt-check lint chaos
+.PHONY: build test check race bench bench-json vet fmt fmt-check lint chaos serve-smoke
 
 build:
 	$(GO) build ./...
@@ -33,10 +33,35 @@ race:
 chaos:
 	$(GO) test -race -count=1 -v ./internal/chaos
 
+# serve-smoke is the deployment smoke test: boot a real prever-server
+# process on an ephemeral port, drive it with the remote open-loop bench
+# for 2 seconds at a low rate, and gate on committed > 0 with zero
+# errors (-check also probes /health and /stats). The multi-process
+# harness tests (internal/harness) cover the same path under `make
+# test`; this target is the standalone end-to-end gate.
+serve-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/prever-server ./cmd/prever-server; \
+	$$tmp/prever-server -addr 127.0.0.1:0 > $$tmp/server.out 2>$$tmp/server.err & \
+	pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's/.*listening on //p' $$tmp/server.out); \
+		[ -n "$$addr" ] && break; \
+		kill -0 $$pid 2>/dev/null || { echo "serve-smoke: server died:"; cat $$tmp/server.err; exit 1; }; \
+		sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "serve-smoke: server never printed its address"; exit 1; }; \
+	echo "serve-smoke: server at $$addr"; \
+	$(GO) run ./cmd/prever-bench remote -addr "$$addr" -limit 100 -conns 2 -duration 2s -check
+
 # check is the CI gate: formatting, static analysis (go vet plus the
-# project analyzers), then the full suite under the race detector (the
-# pipeline's concurrency contract is only proven with -race).
-check: fmt-check vet lint race
+# project analyzers), the full suite under the race detector (the
+# pipeline's concurrency contract is only proven with -race), and the
+# server boot smoke test.
+check: fmt-check vet lint race serve-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...

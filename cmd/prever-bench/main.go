@@ -1,19 +1,31 @@
-// Command prever-bench runs the PReVer experiment suite (E1–E8, see
-// DESIGN.md §3) and prints one table per experiment — the tables recorded
-// in EXPERIMENTS.md.
+// Command prever-bench runs the PReVer experiment suite (E1–E9, see
+// DESIGN.md §3) and the open-loop load generator.
 //
 // Usage:
 //
 //	prever-bench [-scale quick|full] [-only E4] [-json]
 //	             [-batch N] [-flush D] [-inflight K] [-mempool-cap N] [-lanes N]
+//	prever-bench local  [-limit R] [-conns N] [-duration D] [-value B]
+//	                    [-keys K] [-shards S] [-f F] [-json] [-check]
+//	prever-bench remote -addr http://HOST:PORT [-limit R] [-conns N]
+//	                    [-duration D] [-value B] [-keys K] [-json] [-check]
 //
-// The batching flags map straight onto the internal/conf runtime knobs
-// (the defaults every mempool-backed path boots with), so a bench sweep
-// can retune batch size, flush interval, pipelining depth, pool cap and
-// lane count without rebuilding.
+// The default mode regenerates the experiment tables recorded in
+// EXPERIMENTS.md. `local` boots a complete in-process server on a
+// loopback port and drives it over HTTP; `remote` drives an
+// already-running prever-server. Both offer load open-loop: -limit R
+// schedules R requests/second regardless of how fast the server
+// answers (0 = closed loop, as fast as possible), so queueing delay
+// under saturation shows up in the reported p50/p95/p99.
+//
+// The batching flags of the default mode map straight onto the
+// internal/conf runtime knobs, so a bench sweep can retune batch size,
+// flush interval, pipelining depth, pool cap and lane count without
+// rebuilding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,16 +37,99 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "local":
+			runLoad(os.Args[2:], true)
+			return
+		case "remote":
+			runLoad(os.Args[2:], false)
+			return
+		}
+	}
+	runExperiments(os.Args[1:])
+}
+
+// runLoad is the wavelet-style load mode shared by `local` and
+// `remote`: only the server's origin differs.
+func runLoad(args []string, local bool) {
+	name := "remote"
+	if local {
+		name = "local"
+	}
+	fs := flag.NewFlagSet("prever-bench "+name, flag.ExitOnError)
+	addrFlag := fs.String("addr", "", "server base URL (remote mode, e.g. http://127.0.0.1:9473)")
+	limitFlag := fs.Int("limit", 1000, "offered load in requests/second (0 = closed loop)")
+	connsFlag := fs.Int("conns", 4, "concurrent client connections")
+	durationFlag := fs.Duration("duration", 5*time.Second, "how long to offer load")
+	valueFlag := fs.Int("value", 64, "payload bytes per transaction")
+	keysFlag := fs.Int("keys", 1024, "key-space size")
+	shardsFlag := fs.Int("shards", 1, "chain shards (local mode)")
+	fFlag := fs.Int("f", 1, "tolerated Byzantine peers per shard (local mode)")
+	jsonFlag := fs.Bool("json", false, "emit the report as JSON")
+	checkFlag := fs.Bool("check", false, "exit nonzero unless the run committed transactions without errors (smoke gate)")
+	_ = fs.Parse(args)
+
+	base := *addrFlag
+	if local {
+		var stop func()
+		var err error
+		base, stop, err = bench.StartLocalServer(*shardsFlag, *fFlag, 10*time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prever-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "prever-bench: local server on %s\n", base)
+	} else if base == "" {
+		fmt.Fprintln(os.Stderr, "prever-bench: remote mode requires -addr")
+		os.Exit(2)
+	}
+
+	report, err := bench.RunOpenLoad(base, bench.LoadConfig{
+		Rate:       *limitFlag,
+		Conns:      *connsFlag,
+		Duration:   *durationFlag,
+		ValueBytes: *valueFlag,
+		Keys:       *keysFlag,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prever-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "prever-bench: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		report.Fprint(os.Stdout)
+	}
+	if *checkFlag {
+		if report.Committed == 0 || report.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "prever-bench: smoke check FAILED: committed=%d errors=%d\n",
+				report.Committed, report.Errors)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "prever-bench: smoke check ok: committed=%d at %.0f/s\n",
+			report.Committed, report.AchievedRate())
+	}
+}
+
+func runExperiments(args []string) {
 	defaults := conf.Defaults()
-	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
-	onlyFlag := flag.String("only", "", "run a single experiment (E1, E1b, E2..E8)")
-	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON tables instead of text")
-	batchFlag := flag.Int("batch", defaults.BatchSize, "mempool batch size (ops per consensus instance)")
-	flushFlag := flag.Duration("flush", defaults.FlushInterval, "partial-batch flush interval")
-	inflightFlag := flag.Int("inflight", defaults.MaxInFlight, "pipelined consensus instances")
-	capFlag := flag.Int("mempool-cap", defaults.MempoolCap, "mempool admission-control cap")
-	lanesFlag := flag.Int("lanes", defaults.Lanes, "key-hashed mempool lanes")
-	flag.Parse()
+	fs := flag.NewFlagSet("prever-bench", flag.ExitOnError)
+	scaleFlag := fs.String("scale", "quick", "experiment scale: quick or full")
+	onlyFlag := fs.String("only", "", "run a single experiment (E1, E1b, E2..E9)")
+	jsonFlag := fs.Bool("json", false, "emit machine-readable JSON tables instead of text")
+	batchFlag := fs.Int("batch", defaults.BatchSize, "mempool batch size (ops per consensus instance)")
+	flushFlag := fs.Duration("flush", defaults.FlushInterval, "partial-batch flush interval")
+	inflightFlag := fs.Int("inflight", defaults.MaxInFlight, "pipelined consensus instances")
+	capFlag := fs.Int("mempool-cap", defaults.MempoolCap, "mempool admission-control cap")
+	lanesFlag := fs.Int("lanes", defaults.Lanes, "key-hashed mempool lanes")
+	_ = fs.Parse(args)
 
 	conf.Update(func(c *conf.Config) {
 		c.BatchSize = *batchFlag
@@ -65,6 +160,7 @@ func main() {
 		"E6":  bench.E6PIR,
 		"E7":  bench.E7DP,
 		"E8":  bench.E8Adversary,
+		"E9":  bench.E9OpenLoad,
 	}
 
 	start := time.Now()

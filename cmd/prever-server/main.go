@@ -1,0 +1,124 @@
+// Command prever-server runs a PReVer node: a sharded permissioned
+// chain (PBFT consensus over the in-process simulated network, mempool
+// + batched pipelined submission) fronted by the HTTP wire API
+// (internal/api).
+//
+// Usage:
+//
+//	prever-server [-addr 127.0.0.1:9473] [-shards N] [-f K] [-timeout D]
+//	              [-batch N] [-flush D] [-inflight K] [-mempool-cap N]
+//	              [-lanes N] [-max-tx-bytes N]
+//
+// The server prints exactly one line to stdout once it accepts
+// connections:
+//
+//	prever-server: listening on http://HOST:PORT
+//
+// With -addr ending in :0 the kernel picks the port and that line is
+// how callers (the multi-process harness, serve-smoke) discover it.
+// Batching knobs are also adjustable at runtime via POST /conf.
+// SIGINT/SIGTERM shut down gracefully: in-flight requests finish, the
+// mempool fails queued transactions with chain.ErrShardClosed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prever/internal/api"
+	"prever/internal/chain"
+	"prever/internal/conf"
+	"prever/internal/netsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "prever-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	defaults := conf.Defaults()
+	addrFlag := flag.String("addr", "127.0.0.1:9473", "listen address (use :0 for an ephemeral port)")
+	shardsFlag := flag.Int("shards", 1, "number of chain shards")
+	fFlag := flag.Int("f", 1, "tolerated Byzantine peers per shard (3f+1 peers)")
+	timeoutFlag := flag.Duration("timeout", 10*time.Second, "per-transaction commit timeout")
+	batchFlag := flag.Int("batch", defaults.BatchSize, "mempool batch size (ops per consensus instance)")
+	flushFlag := flag.Duration("flush", defaults.FlushInterval, "partial-batch flush interval")
+	inflightFlag := flag.Int("inflight", defaults.MaxInFlight, "pipelined consensus instances")
+	capFlag := flag.Int("mempool-cap", defaults.MempoolCap, "mempool admission-control cap")
+	lanesFlag := flag.Int("lanes", defaults.Lanes, "key-hashed mempool lanes")
+	maxTxFlag := flag.Int("max-tx-bytes", defaults.MaxTxBytes, "per-transaction size limit (HTTP 413 beyond)")
+	flag.Parse()
+
+	conf.Update(func(c *conf.Config) {
+		c.BatchSize = *batchFlag
+		c.FlushInterval = *flushFlag
+		c.MaxInFlight = *inflightFlag
+		c.MempoolCap = *capFlag
+		c.Lanes = *lanesFlag
+		c.MaxTxBytes = *maxTxFlag
+	})
+
+	if *shardsFlag < 1 {
+		return fmt.Errorf("-shards must be >= 1 (got %d)", *shardsFlag)
+	}
+	simnet := netsim.New(netsim.Config{})
+	defer simnet.Close()
+	shards := make([]*chain.Shard, *shardsFlag)
+	for i := range shards {
+		s, err := chain.NewShard(simnet, chain.ShardConfig{
+			Name:    fmt.Sprintf("shard%d", i),
+			F:       *fFlag,
+			Timeout: *timeoutFlag,
+		})
+		if err != nil {
+			return err
+		}
+		shards[i] = s
+	}
+	sharded, err := chain.NewSharded(shards...)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = sharded.Close() }()
+
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		return err
+	}
+	// The contract line: printed only after Listen succeeded, so a
+	// parent process reading stdout knows the port is accepting.
+	fmt.Printf("prever-server: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: api.NewServer(sharded).Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "prever-server: %s, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

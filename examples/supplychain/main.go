@@ -47,10 +47,10 @@ func main() {
 	// Public cross-enterprise updates: shipment records everyone sees.
 	fmt.Println("— public shipment records (ordered by PBFT, visible to all peers) —")
 	for i, shipment := range []string{"steel:100t", "chips:5000u", "gears:800u"} {
-		if err := shard.Submit(chain.Tx{
+		if res := <-shard.SubmitAsync(chain.Tx{
 			Kind: chain.TxPut, Key: fmt.Sprintf("shipment/%d", i), Value: []byte(shipment),
-		}); err != nil {
-			log.Fatal(err)
+		}); res.Err != nil {
+			log.Fatal(res.Err)
 		}
 		fmt.Printf("  shipment/%d = %s committed\n", i, shipment)
 	}
@@ -58,8 +58,8 @@ func main() {
 	// Private internal update: the manufacturer's process parameters.
 	fmt.Println("\n— private collection: manufacturer's process secret —")
 	secret := []byte("anneal@1200C;quench=oil;tolerance=0.01mm")
-	if err := shard.SubmitPrivate("mfg-secrets", "process/v7", secret); err != nil {
-		log.Fatal(err)
+	if res := <-shard.SubmitPrivate("mfg-secrets", "process/v7", secret); res.Err != nil {
+		log.Fatal(res.Err)
 	}
 	waitHeight(shard, 4)
 	peers := shard.Peers()

@@ -149,6 +149,7 @@ func Experiments() []func(Scale) (*Table, error) {
 		E6PIR,
 		E7DP,
 		E8Adversary,
+		E9OpenLoad,
 	}
 }
 

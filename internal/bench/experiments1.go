@@ -773,7 +773,7 @@ func E4Consensus(scale Scale) (*Table, error) {
 			sem <- struct{}{}
 			go func(i int) {
 				defer func() { <-sem }()
-				errCh <- sharded.Submit(chainpkg.Tx{Kind: chainpkg.TxPut, Key: fmt.Sprintf("k%d", i), Value: val})
+				errCh <- (<-sharded.SubmitAsync(chainpkg.Tx{Kind: chainpkg.TxPut, Key: fmt.Sprintf("k%d", i), Value: val})).Err
 			}(i)
 		}
 		for i := 0; i < ops; i++ {

@@ -372,9 +372,9 @@ func E8Adversary(scale Scale) (*Table, error) {
 			return nil, err
 		}
 		for i := 0; i < 10; i++ {
-			if err := s.Submit(chain.Tx{Kind: chain.TxPut, Key: fmt.Sprintf("k%d", i), Value: []byte("v")}); err != nil {
+			if res := <-s.SubmitAsync(chain.Tx{Kind: chain.TxPut, Key: fmt.Sprintf("k%d", i), Value: []byte("v")}); res.Err != nil {
 				net.Close()
-				return nil, err
+				return nil, res.Err
 			}
 		}
 		blocks := s.Peers()[0].Blocks()

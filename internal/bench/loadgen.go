@@ -1,0 +1,301 @@
+// Open-loop load generation against a PReVer server (wavelet-style
+// local/remote benchmarking): a target request rate is offered on a
+// fixed schedule regardless of how fast the server answers, so queueing
+// delay shows up in the latency percentiles instead of silently slowing
+// the generator down (coordinated omission). `prever-bench local` boots
+// a server in-process and drives it over loopback HTTP; `prever-bench
+// remote` drives any already-running server.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prever/internal/api"
+	"prever/internal/chain"
+	"prever/internal/core"
+	"prever/internal/netsim"
+)
+
+// LoadConfig shapes one open-loop run.
+type LoadConfig struct {
+	// Rate is the offered load in requests/second across all
+	// connections. Zero means closed-loop: every connection submits as
+	// fast as the server answers.
+	Rate int
+	// Conns is the number of concurrent client connections.
+	Conns int
+	// Duration is how long to offer load.
+	Duration time.Duration
+	// ValueBytes is the payload size per transaction.
+	ValueBytes int
+	// Keys is the key-space size; transactions cycle through it so the
+	// server's mempool lanes see realistic key diversity.
+	Keys int
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 64
+	}
+	if c.Keys <= 0 {
+		c.Keys = 1024
+	}
+	return c
+}
+
+// LoadReport is the outcome of one open-loop run. Latency is measured
+// from each request's SCHEDULED send time when a rate is set (so time a
+// request spent waiting behind a saturated server counts), and from the
+// actual send time in closed-loop mode.
+type LoadReport struct {
+	TargetRate int           `json:"targetRate"` // 0 = closed loop
+	Conns      int           `json:"conns"`
+	Elapsed    time.Duration `json:"elapsedNanos"`
+
+	Sent       int64 `json:"sent"`
+	Committed  int64 `json:"committed"`
+	Duplicates int64 `json:"duplicates"`
+	Rejected   int64 `json:"rejected"` // admission control (chain.ErrPoolFull)
+	Errors     int64 `json:"errors"`
+
+	Latency core.LatencySummary `json:"-"`
+
+	// ServerStats is the server's own unified /stats document after the
+	// run — the same JSON-tagged chain.Stats shape local code gets from
+	// Shard.Stats, so bench output and server observability agree.
+	ServerStats api.StatsResponse `json:"serverStats"`
+}
+
+// AchievedRate is the committed throughput in requests/second.
+func (r LoadReport) AchievedRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Elapsed.Seconds()
+}
+
+// Row renders the report as one latency-under-load table row:
+// target, achieved, committed, rejected, errors, p50, p95, p99, max.
+func (r LoadReport) Row() []string {
+	target := "max"
+	if r.TargetRate > 0 {
+		target = fmt.Sprintf("%d/s", r.TargetRate)
+	}
+	return []string{
+		target,
+		fmt.Sprintf("%.0f/s", r.AchievedRate()),
+		fmt.Sprintf("%d", r.Committed),
+		fmt.Sprintf("%d", r.Rejected+r.Errors),
+		fmtDur(r.Latency.P50),
+		fmtDur(r.Latency.P95),
+		fmtDur(r.Latency.P99),
+		fmtDur(r.Latency.Max),
+	}
+}
+
+// loadHeader is the column set every latency-under-load table uses.
+func loadHeader() []string {
+	return []string{"offered", "achieved", "committed", "failed", "p50", "p95", "p99", "max"}
+}
+
+// Fprint renders the report as a one-row table.
+func (r LoadReport) Fprint(w io.Writer) {
+	t := &Table{
+		ID:     "load",
+		Title:  fmt.Sprintf("open-loop latency under load (%d conns, %s)", r.Conns, r.Elapsed.Round(time.Millisecond)),
+		Header: loadHeader(),
+	}
+	t.AddRow(r.Row()...)
+	t.Fprint(w)
+}
+
+// RunOpenLoad offers cfg.Rate requests/second of single-key puts to the
+// server at base for cfg.Duration and reports what came back. The
+// generator fails fast if the server does not answer /health.
+func RunOpenLoad(base string, cfg LoadConfig) (LoadReport, error) {
+	cfg = cfg.withDefaults()
+	probe := api.NewClient(base)
+	if _, err := probe.Health(); err != nil {
+		return LoadReport{}, fmt.Errorf("bench: server not healthy: %w", err)
+	}
+
+	rec := core.NewLatencyRecorder()
+	var sent, committed, dups, rejected, errCount atomic.Int64
+	var next atomic.Int64
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Second / time.Duration(cfg.Rate)
+	}
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Conns; c++ {
+		client := api.NewClient(base)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := next.Add(1) - 1
+				sched := time.Now()
+				if interval > 0 {
+					// Open loop: request idx is due at start+idx*interval,
+					// whether or not the server kept up. A late worker
+					// sends immediately and the backlog time lands in the
+					// measured latency.
+					sched = start.Add(time.Duration(idx) * interval)
+					if sched.After(deadline) {
+						return
+					}
+					if wait := time.Until(sched); wait > 0 {
+						time.Sleep(wait)
+					}
+				} else if sched.After(deadline) {
+					return
+				}
+				tx := api.Tx{
+					Kind:  api.KindPut,
+					Key:   fmt.Sprintf("load/%d", idx%int64(cfg.Keys)),
+					Value: value,
+				}
+				sent.Add(1)
+				_, err := client.Submit(tx)
+				rec.Record(time.Since(sched))
+				switch {
+				case err == nil:
+					committed.Add(1)
+				case errors.Is(err, chain.ErrDuplicate):
+					dups.Add(1)
+				case errors.Is(err, chain.ErrPoolFull):
+					rejected.Add(1)
+				default:
+					errCount.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	report := LoadReport{
+		TargetRate: cfg.Rate,
+		Conns:      cfg.Conns,
+		Elapsed:    time.Since(start),
+		Sent:       sent.Load(),
+		Committed:  committed.Load(),
+		Duplicates: dups.Load(),
+		Rejected:   rejected.Load(),
+		Errors:     errCount.Load(),
+		Latency:    rec.Summary(),
+	}
+	stats, err := probe.Stats()
+	if err != nil {
+		return report, fmt.Errorf("bench: fetching /stats after run: %w", err)
+	}
+	report.ServerStats = stats
+	return report, nil
+}
+
+// StartLocalServer boots a complete in-process PReVer server — netsim
+// network, `shards` PBFT shards of 3f+1 peers, the HTTP API — on an
+// ephemeral loopback port and returns its base URL and a stop function.
+// `prever-bench local`, the E9 experiment, and tests use it to measure
+// the full wire stack without managing a second process.
+func StartLocalServer(shards, f int, timeout time.Duration) (string, func(), error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	if f <= 0 {
+		f = 1
+	}
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	simnet := netsim.New(netsim.Config{})
+	var ss []*chain.Shard
+	for i := 0; i < shards; i++ {
+		s, err := chain.NewShard(simnet, chain.ShardConfig{
+			Name:    fmt.Sprintf("shard%d", i),
+			F:       f,
+			Timeout: timeout,
+		})
+		if err != nil {
+			simnet.Close()
+			return "", nil, err
+		}
+		ss = append(ss, s)
+	}
+	sharded, err := chain.NewSharded(ss...)
+	if err != nil {
+		simnet.Close()
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = sharded.Close()
+		simnet.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: api.NewServer(sharded).Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	stop := func() {
+		_ = hs.Close()
+		_ = sharded.Close()
+		simnet.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// E9OpenLoad is the latency-under-load experiment: boot an in-process
+// server, then step the offered rate and record how the commit latency
+// distribution degrades as the offered load approaches the consensus
+// pipeline's capacity (EXPERIMENTS.md E9).
+func E9OpenLoad(scale Scale) (*Table, error) {
+	rates := []int{200, 500, 1000}
+	dur := time.Second
+	conns := 4
+	if scale == Full {
+		rates = []int{500, 1000, 2000, 4000}
+		dur = 3 * time.Second
+		conns = 8
+	}
+	base, stop, err := StartLocalServer(1, 1, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	t := &Table{
+		ID:     "E9",
+		Title:  "Latency under open-loop load (HTTP API, 1 shard, f=1)",
+		Notes:  fmt.Sprintf("%d conns, %s per rate step; latency from scheduled send time", conns, dur),
+		Header: loadHeader(),
+	}
+	for _, rate := range rates {
+		report, err := RunOpenLoad(base, LoadConfig{
+			Rate:     rate,
+			Conns:    conns,
+			Duration: dur,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(report.Row()...)
+	}
+	return t, nil
+}

@@ -415,20 +415,11 @@ func (s *Shard) Peers() []*Peer { return s.peers }
 // tests and benchmarks (Crash/Restart/Sync).
 func (s *Shard) Replicas() []*pbft.Replica { return s.replicas }
 
-// Submit orders a transaction through consensus and blocks until it
-// commits. It is a thin synchronous wrapper over SubmitAsync, kept for
-// callers that want one-at-a-time semantics.
-//
-// Deprecated: use SubmitAsync or SubmitBatch — the batch-first API lets
-// the mempool pack many transactions into one consensus instance instead
-// of paying a full three-phase round per transaction.
-func (s *Shard) Submit(tx Tx) error {
-	return (<-s.SubmitAsync(tx)).Err
-}
-
 // SubmitPrivate distributes a private value to collection members
-// off-chain, then orders the on-chain hash.
-func (s *Shard) SubmitPrivate(collection, key string, value []byte) error {
+// off-chain, then orders the on-chain hash through the mempool like any
+// other transaction: the returned channel resolves when the hash
+// transaction's batch commits.
+func (s *Shard) SubmitPrivate(collection, key string, value []byte) <-chan Result {
 	tx := Tx{
 		ID:         fmt.Sprintf("%s-ptx-%d", s.Name, s.seq.Add(1)),
 		Kind:       TxPrivatePut,
@@ -441,7 +432,7 @@ func (s *Shard) SubmitPrivate(collection, key string, value []byte) error {
 			p.StagePrivateValue(tx.ID, value)
 		}
 	}
-	return s.Submit(tx)
+	return s.SubmitAsync(tx)
 }
 
 // Sharded is a SharPer-style multi-shard chain: the key space is
@@ -471,9 +462,15 @@ func (c *Sharded) ShardFor(key string) *Shard {
 	return c.shards[idx]
 }
 
-// Submit routes a single-shard transaction by key.
-func (c *Sharded) Submit(tx Tx) error {
-	return c.ShardFor(tx.Key).Submit(tx)
+// SubmitAsync routes a single-shard transaction to its home shard's
+// mempool and returns that shard's result channel.
+func (c *Sharded) SubmitAsync(tx Tx) <-chan Result {
+	return c.ShardFor(tx.Key).SubmitAsync(tx)
+}
+
+// SubmitPrivate routes a private put to the key's home shard.
+func (c *Sharded) SubmitPrivate(collection, key string, value []byte) <-chan Result {
+	return c.ShardFor(key).SubmitPrivate(collection, key, value)
 }
 
 // SubmitCross atomically applies writes that span multiple shards:
@@ -494,10 +491,10 @@ func (c *Sharded) SubmitCross(writes []Tx) error {
 	// Phase 1: prepare everywhere.
 	var preparedShards []*Shard
 	for s, ws := range byShard {
-		err := s.Submit(Tx{Kind: TxCrossPrepare, XID: xid, Writes: ws})
+		err := submitWait(s, Tx{Kind: TxCrossPrepare, XID: xid, Writes: ws})
 		if err != nil {
 			for _, ps := range preparedShards {
-				_ = ps.Submit(Tx{Kind: TxCrossAbort, XID: xid})
+				_ = submitWait(ps, Tx{Kind: TxCrossAbort, XID: xid})
 			}
 			return fmt.Errorf("chain: cross-shard prepare failed on %s: %w", s.Name, err)
 		}
@@ -506,7 +503,7 @@ func (c *Sharded) SubmitCross(writes []Tx) error {
 	// Phase 2: commit everywhere.
 	var firstErr error
 	for s := range byShard {
-		if err := s.Submit(Tx{Kind: TxCrossCommit, XID: xid}); err != nil && firstErr == nil {
+		if err := submitWait(s, Tx{Kind: TxCrossCommit, XID: xid}); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("chain: cross-shard commit failed on %s: %w", s.Name, err)
 		}
 	}

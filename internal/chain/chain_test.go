@@ -50,7 +50,7 @@ func TestShardConfigValidation(t *testing.T) {
 
 func TestPutCommitsOnAllPeers(t *testing.T) {
 	_, s := newShard(t, "s0", nil)
-	if err := s.Submit(Tx{Kind: TxPut, Key: "a", Value: []byte("1")}); err != nil {
+	if err := submitWait(s, Tx{Kind: TxPut, Key: "a", Value: []byte("1")}); err != nil {
 		t.Fatal(err)
 	}
 	waitHeight(t, s, 1)
@@ -64,8 +64,8 @@ func TestPutCommitsOnAllPeers(t *testing.T) {
 
 func TestDeleteTx(t *testing.T) {
 	_, s := newShard(t, "s0", nil)
-	s.Submit(Tx{Kind: TxPut, Key: "a", Value: []byte("1")})
-	s.Submit(Tx{Kind: TxDelete, Key: "a"})
+	_ = submitWait(s, Tx{Kind: TxPut, Key: "a", Value: []byte("1")})
+	_ = submitWait(s, Tx{Kind: TxDelete, Key: "a"})
 	waitHeight(t, s, 2)
 	for _, p := range s.Peers() {
 		if _, err := p.Get("a"); err != store.ErrNotFound {
@@ -77,7 +77,7 @@ func TestDeleteTx(t *testing.T) {
 func TestChainsAreIdenticalAcrossPeers(t *testing.T) {
 	_, s := newShard(t, "s0", nil)
 	for i := 0; i < 10; i++ {
-		if err := s.Submit(Tx{Kind: TxPut, Key: fmt.Sprintf("k%d", i), Value: []byte("v")}); err != nil {
+		if err := submitWait(s, Tx{Kind: TxPut, Key: fmt.Sprintf("k%d", i), Value: []byte("v")}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -99,7 +99,7 @@ func TestChainsAreIdenticalAcrossPeers(t *testing.T) {
 func TestVerifyBlocksCleanAndTampered(t *testing.T) {
 	_, s := newShard(t, "s0", nil)
 	for i := 0; i < 5; i++ {
-		s.Submit(Tx{Kind: TxPut, Key: fmt.Sprintf("k%d", i), Value: []byte("v")})
+		_ = submitWait(s, Tx{Kind: TxPut, Key: fmt.Sprintf("k%d", i), Value: []byte("v")})
 	}
 	waitHeight(t, s, 5)
 	blocks := s.Peers()[0].Blocks()
@@ -125,7 +125,7 @@ func TestVerifyBlocksCleanAndTampered(t *testing.T) {
 
 func TestTxInclusionProof(t *testing.T) {
 	_, s := newShard(t, "s0", nil)
-	s.Submit(Tx{Kind: TxPut, Key: "k", Value: []byte("v")})
+	_ = submitWait(s, Tx{Kind: TxPut, Key: "k", Value: []byte("v")})
 	waitHeight(t, s, 1)
 	p := s.Peers()[0]
 	proof, tx, err := p.ProveTx(0, 0)
@@ -154,7 +154,7 @@ func TestPrivateCollectionVisibility(t *testing.T) {
 	}
 	_, s := newShard(t, "s0", members)
 	secret := []byte("manufacturing-process-secret")
-	if err := s.SubmitPrivate("collAB", "recipe", secret); err != nil {
+	if err := (<-s.SubmitPrivate("collAB", "recipe", secret)).Err; err != nil {
 		t.Fatal(err)
 	}
 	waitHeight(t, s, 1)
@@ -188,7 +188,7 @@ func TestPrivateValueWithWrongHashRejected(t *testing.T) {
 	// Stage a value that does not match the on-chain hash.
 	tx := Tx{ID: "evil-tx", Kind: TxPrivatePut, Collection: "coll", Key: "k", ValueHash: HashValue([]byte("real"))}
 	s.Peers()[0].StagePrivateValue("evil-tx", []byte("fake"))
-	if err := s.Submit(tx); err != nil {
+	if err := submitWait(s, tx); err != nil {
 		t.Fatal(err)
 	}
 	waitHeight(t, s, 1)
@@ -218,7 +218,7 @@ func newSharded(t *testing.T, nShards int) *Sharded {
 
 func TestShardedRouting(t *testing.T) {
 	c := newSharded(t, 2)
-	if err := c.Submit(Tx{Kind: TxPut, Key: "alpha", Value: []byte("1")}); err != nil {
+	if err := (<-c.SubmitAsync(Tx{Kind: TxPut, Key: "alpha", Value: []byte("1")})).Err; err != nil {
 		t.Fatal(err)
 	}
 	home := c.ShardFor("alpha")
@@ -297,7 +297,7 @@ func BenchmarkShardSubmit(b *testing.B) {
 	val := []byte("value-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.Submit(Tx{Kind: TxPut, Key: fmt.Sprintf("k%d", i), Value: val}); err != nil {
+		if err := submitWait(s, Tx{Kind: TxPut, Key: fmt.Sprintf("k%d", i), Value: val}); err != nil {
 			b.Fatal(err)
 		}
 	}

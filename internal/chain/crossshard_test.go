@@ -20,14 +20,14 @@ func TestCrossShardAbortDiscardsPreparedWrites(t *testing.T) {
 		t.Fatal(err)
 	}
 	writes := []Tx{{Kind: TxPut, Key: "k", Value: []byte("v")}}
-	if err := s.Submit(Tx{Kind: TxCrossPrepare, XID: "x1", Writes: writes}); err != nil {
+	if err := submitWait(s, Tx{Kind: TxCrossPrepare, XID: "x1", Writes: writes}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Submit(Tx{Kind: TxCrossAbort, XID: "x1"}); err != nil {
+	if err := submitWait(s, Tx{Kind: TxCrossAbort, XID: "x1"}); err != nil {
 		t.Fatal(err)
 	}
 	// Commit after abort must not resurrect the writes.
-	if err := s.Submit(Tx{Kind: TxCrossCommit, XID: "x1"}); err != nil {
+	if err := submitWait(s, Tx{Kind: TxCrossCommit, XID: "x1"}); err != nil {
 		t.Fatal(err)
 	}
 	waitShardHeight(t, s, 3)
@@ -47,7 +47,7 @@ func TestCrossShardCommitWithoutPrepareIsNoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Submit(Tx{Kind: TxCrossCommit, XID: "ghost"}); err != nil {
+	if err := submitWait(s, Tx{Kind: TxCrossCommit, XID: "ghost"}); err != nil {
 		t.Fatal(err)
 	}
 	waitShardHeight(t, s, 1)
@@ -64,10 +64,10 @@ func TestPutOnceFirstWriterWins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Submit(Tx{Kind: TxPutOnce, Key: "spent/serial1", Value: []byte("claimA")}); err != nil {
+	if err := submitWait(s, Tx{Kind: TxPutOnce, Key: "spent/serial1", Value: []byte("claimA")}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Submit(Tx{Kind: TxPutOnce, Key: "spent/serial1", Value: []byte("claimB")}); err != nil {
+	if err := submitWait(s, Tx{Kind: TxPutOnce, Key: "spent/serial1", Value: []byte("claimB")}); err != nil {
 		t.Fatal(err)
 	}
 	waitShardHeight(t, s, 2)

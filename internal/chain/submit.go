@@ -5,16 +5,18 @@ import (
 	"fmt"
 	"time"
 
+	"prever/internal/conf"
 	"prever/internal/mempool"
 )
 
-// The asynchronous batch-first submission surface. Transactions enter the
-// shard's mempool (duplicate-suppressed, admission-controlled, lane-
-// ordered by key) and resolve when the batch they rode in commits:
+// The asynchronous batch-first submission surface — the ONE submission
+// API; the HTTP serving layer (internal/api, cmd/prever-server) fronts
+// exactly this. Transactions enter the shard's mempool (duplicate-
+// suppressed, admission-controlled, lane-ordered by key) and resolve when
+// the batch they rode in commits:
 //
 //	SubmitAsync(tx)  → <-chan Result   one tx, resolve later
 //	SubmitBatch(txs) → []Result        many txs, resolved in input order
-//	Submit(tx)       → error           deprecated synchronous wrapper
 //
 // Per-producer ordering: transactions with the same key share a mempool
 // lane and are proposed — and, with ordered batch dispatch, applied — in
@@ -25,28 +27,37 @@ type Result struct {
 	// TxID is the transaction's identity (assigned at submission when the
 	// caller left it empty), usable for later proofs and audits.
 	TxID string
-	// Err is nil once the transaction's batch committed. ErrFull means the
-	// mempool refused admission (back off and retry).
+	// Err is nil once the transaction's batch committed. The typed
+	// sentinels in errors.go classify the failure: ErrPoolFull (back off
+	// and retry), ErrDuplicate (already committed — a success with a
+	// flag), ErrShardClosed, ErrTxTooLarge.
 	Err error
 }
 
+// submitWait is the synchronous helper the 2PC coordinator and tests use
+// for one-at-a-time semantics over the async surface.
+func submitWait(s *Shard, tx Tx) error { return (<-s.SubmitAsync(tx)).Err }
+
 // Stats mirrors the Engine Stats shape (core.Stats) for the consensus
-// submission path — Accepted+Rejected+Errors converges to Submitted when
-// the shard is quiescent — and adds the mempool's view: queue depth,
-// admission rejections, and the proposed-batch size histogram. Sharded
-// aggregates it across shards with Merge.
+// submission path — Accepted+Duplicates+Rejected+Errors converges to
+// Submitted when the shard is quiescent — and adds the mempool's view:
+// queue depth, admission rejections, and the proposed-batch size
+// histogram. Sharded aggregates it across shards with Merge. The JSON
+// tags are the wire shape: internal/api serves exactly this struct at
+// /stats (per shard and aggregated), and `make bench-json` records it.
 type Stats struct {
-	Submitted int64 // transactions entering SubmitAsync
-	Accepted  int64 // transactions whose batch committed
-	Rejected  int64 // admission-control rejections (mempool full)
-	Errors    int64 // submission failures (budget exhausted, shard closed)
+	Submitted  int64 `json:"submitted"`  // transactions entering SubmitAsync
+	Accepted   int64 `json:"accepted"`   // transactions whose batch committed
+	Duplicates int64 `json:"duplicates"` // dedup-acked resubmissions (ErrDuplicate)
+	Rejected   int64 `json:"rejected"`   // admission-control rejections (ErrPoolFull)
+	Errors     int64 `json:"errors"`     // submission failures (budget exhausted, shard closed, oversized)
 	// TotalCommitNanos accumulates wall time from submission to ack;
 	// divide by Accepted for the mean commit latency.
-	TotalCommitNanos int64
+	TotalCommitNanos int64 `json:"totalCommitNanos"`
 	// Pool is the mempool snapshot (Depth, InFlight, dedup counters).
-	Pool mempool.PoolStats
+	Pool mempool.PoolStats `json:"pool"`
 	// Batches is the proposed-batch histogram (size buckets, mean, max).
-	Batches mempool.BatchStats
+	Batches mempool.BatchStats `json:"batches"`
 }
 
 // MeanCommitLatency returns the average submission-to-commit time.
@@ -62,6 +73,7 @@ func (s Stats) MeanCommitLatency() time.Duration {
 func (s *Stats) Merge(o Stats) {
 	s.Submitted += o.Submitted
 	s.Accepted += o.Accepted
+	s.Duplicates += o.Duplicates
 	s.Rejected += o.Rejected
 	s.Errors += o.Errors
 	s.TotalCommitNanos += o.TotalCommitNanos
@@ -106,11 +118,20 @@ func (s *Shard) SubmitAsync(tx Tx) <-chan Result {
 	s.statsMu.Lock()
 	s.stats.Submitted++
 	s.statsMu.Unlock()
-	err := s.pool.Add(mempool.Op{ID: id, Lane: laneOf(tx), Data: txBytes(tx)}, func(err error) {
+	data := txBytes(tx)
+	if max := conf.MaxTxBytes(); len(data) > max {
+		err := fmt.Errorf("%w: %d bytes (limit %d)", ErrTxTooLarge, len(data), max)
+		s.recordOutcome(start, err)
+		ch <- Result{TxID: id, Err: err}
+		return ch
+	}
+	err := s.pool.Add(mempool.Op{ID: id, Lane: laneOf(tx), Data: data}, func(err error) {
+		err = sentinelErr(err)
 		s.recordOutcome(start, err)
 		ch <- Result{TxID: id, Err: err}
 	})
 	if err != nil {
+		err = sentinelErr(err)
 		s.recordOutcome(start, err)
 		ch <- Result{TxID: id, Err: err}
 	}
@@ -140,6 +161,10 @@ func (s *Shard) recordOutcome(start time.Time, err error) {
 	case err == nil:
 		s.stats.Accepted++
 		s.stats.TotalCommitNanos += ns
+	case errors.Is(err, ErrDuplicate):
+		// The original committed; this resubmission was only acked, so it
+		// neither counts as a fresh commit nor pollutes commit latency.
+		s.stats.Duplicates++
 	case errors.Is(err, mempool.ErrFull):
 		s.stats.Rejected++
 	default:

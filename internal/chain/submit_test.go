@@ -204,7 +204,9 @@ func TestRetriedTxNotReproposed(t *testing.T) {
 		chans = append(chans, s.SubmitAsync(tx), s.SubmitAsync(tx), s.SubmitAsync(tx))
 	}
 	for i, ch := range chans {
-		if res := <-ch; res.Err != nil {
+		// Dups that land after their first copy committed are acked with
+		// ErrDuplicate — an explicit "already done", not a failure.
+		if res := <-ch; res.Err != nil && !errors.Is(res.Err, ErrDuplicate) {
 			t.Fatalf("submission %d: %v", i, res.Err)
 		}
 	}
@@ -246,10 +248,11 @@ func TestRetriedTxNotReproposed(t *testing.T) {
 			}
 		}
 	}
-	// A late retry after commit is acked from the executed filter.
+	// A late retry after commit is acked from the executed filter with the
+	// ErrDuplicate sentinel.
 	late := <-s.SubmitAsync(Tx{ID: "retry-0", Kind: TxPut, Key: "k0", Value: []byte("v")})
-	if late.Err != nil {
-		t.Fatalf("late retry: %v", late.Err)
+	if !errors.Is(late.Err, ErrDuplicate) {
+		t.Fatalf("late retry: err = %v, want ErrDuplicate", late.Err)
 	}
 	if st := s.Stats(); st.Pool.DupExecuted == 0 {
 		t.Fatal("late retry did not hit the executed filter")

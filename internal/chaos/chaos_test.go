@@ -393,8 +393,8 @@ func TestChaosChain(t *testing.T) {
 	const ops = 20
 	for i := 0; i < ops; i++ {
 		tx := chain.Tx{Kind: chain.TxPut, Key: fmt.Sprintf("key-%d", i), Value: []byte(fmt.Sprintf("val-%d", i))}
-		if err := shard.Submit(tx); err != nil {
-			t.Fatalf("submit %d: %v (seed %d, events %v)", i, err, seed, inj.Events())
+		if res := <-shard.SubmitAsync(tx); res.Err != nil {
+			t.Fatalf("submit %d: %v (seed %d, events %v)", i, res.Err, seed, inj.Events())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

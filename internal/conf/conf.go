@@ -39,6 +39,10 @@ type Config struct {
 	// for duplicate suppression (retried ops inside the window are acked,
 	// not re-proposed). Entries survive between TTL and 2×TTL.
 	DedupTTL time.Duration
+	// MaxTxBytes bounds one encoded transaction on the submit path;
+	// larger submissions fail with chain.ErrTxTooLarge (HTTP 413 on the
+	// wire) instead of bloating consensus batches.
+	MaxTxBytes int
 }
 
 // Defaults is the configuration the system boots with.
@@ -50,6 +54,7 @@ func Defaults() Config {
 		MempoolCap:    4096,
 		Lanes:         8,
 		DedupTTL:      time.Minute,
+		MaxTxBytes:    1 << 20,
 	}
 }
 
@@ -73,6 +78,9 @@ func (c *Config) sanitize() {
 	}
 	if c.DedupTTL <= 0 {
 		c.DedupTTL = time.Minute
+	}
+	if c.MaxTxBytes < 1 {
+		c.MaxTxBytes = 1 << 20
 	}
 }
 
@@ -152,3 +160,9 @@ func DedupTTL() time.Duration { return Snapshot().DedupTTL }
 
 // SetDedupTTL updates the executed-op dedup window.
 func SetDedupTTL(d time.Duration) { Update(func(c *Config) { c.DedupTTL = d }) }
+
+// MaxTxBytes returns the encoded-transaction size bound.
+func MaxTxBytes() int { return Snapshot().MaxTxBytes }
+
+// SetMaxTxBytes updates the encoded-transaction size bound.
+func SetMaxTxBytes(n int) { Update(func(c *Config) { c.MaxTxBytes = n }) }

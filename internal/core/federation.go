@@ -240,8 +240,8 @@ func (c *ChainSpentStore) MarkSpent(serial string) (bool, error) {
 	claim := fmt.Sprintf("%s/%d", c.node, c.n)
 	c.seq.Unlock()
 	key := "spent/" + serial
-	if err := c.shard.Submit(chain.Tx{Kind: chain.TxPutOnce, Key: key, Value: []byte(claim)}); err != nil {
-		return false, err
+	if res := <-c.shard.SubmitAsync(chain.Tx{Kind: chain.TxPutOnce, Key: key, Value: []byte(claim)}); res.Err != nil {
+		return false, res.Err
 	}
 	// Read back from a local peer: by commit time the winner is fixed.
 	winner, err := c.shard.Peers()[0].Get(key)

@@ -1,0 +1,25 @@
+package core
+
+import "time"
+
+// LatencyRecorder exposes the engines' lock-free log-bucketed latency
+// histogram (latencyHist) as a standalone recorder, for measurement
+// loops that live outside an engine — the open-loop load generator
+// records every request's latency through one of these and reports the
+// same LatencySummary percentiles the engine stats do.
+type LatencyRecorder struct {
+	hist latencyHist
+}
+
+// NewLatencyRecorder returns an empty recorder. Record is safe for
+// concurrent use; Summary may run concurrently with recorders (it reads
+// a near-consistent snapshot — the load generator only summarizes after
+// its workers stop, where it is exact).
+func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
+
+// Record adds one observation.
+func (r *LatencyRecorder) Record(d time.Duration) { r.hist.record(d.Nanoseconds()) }
+
+// Summary condenses the recorded observations into count, mean, P50,
+// P95, P99 and max.
+func (r *LatencyRecorder) Summary() LatencySummary { return r.hist.summary() }

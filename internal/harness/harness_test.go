@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"prever/internal/api"
+	"prever/internal/chain"
+)
+
+// TestMultiProcessCluster is the deployable-artifact test: build the
+// real server binary, boot three OS processes on loopback TCP, drive
+// each through the wire client, and assert every process's chain
+// converges clean. It proves the pieces the in-process suite cannot:
+// flag parsing, the stdout address contract, JSON over a real socket,
+// and graceful SIGTERM shutdown.
+func TestMultiProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process harness is not -short")
+	}
+	bin, err := BuildServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	cluster, err := StartCluster(bin, n, "-flush", "1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cluster.Stop() })
+	if len(cluster.Procs) != n {
+		t.Fatalf("started %d processes, want %d", len(cluster.Procs), n)
+	}
+
+	// Each process is an independent chain; drive all three and check
+	// they answer independently.
+	const perProc = 10
+	for pi, proc := range cluster.Procs {
+		client := proc.Client()
+		// Singles.
+		for i := 0; i < perProc/2; i++ {
+			id, err := client.Submit(api.Tx{
+				Kind:  api.KindPut,
+				Key:   fmt.Sprintf("proc%d/key%d", pi, i),
+				Value: []byte(fmt.Sprintf("v%d", i)),
+			})
+			if err != nil {
+				t.Fatalf("proc %d submit %d: %v", pi, i, err)
+			}
+			if id == "" {
+				t.Fatalf("proc %d submit %d: empty tx id", pi, i)
+			}
+		}
+		// One batch for the rest.
+		txs := make([]api.Tx, perProc/2)
+		for i := range txs {
+			txs[i] = api.Tx{
+				Kind:  api.KindPut,
+				Key:   fmt.Sprintf("proc%d/batch%d", pi, i),
+				Value: []byte("b"),
+			}
+		}
+		results, err := client.SubmitBatch(txs)
+		if err != nil {
+			t.Fatalf("proc %d batch: %v", pi, err)
+		}
+		for i, r := range results {
+			if r.Code != "" {
+				t.Fatalf("proc %d batch tx %d: %s %s", pi, i, r.Code, r.Error)
+			}
+		}
+	}
+
+	// The typed sentinels survive the process boundary: resubmitting a
+	// committed ID yields chain.ErrDuplicate out of the remote client.
+	c0 := cluster.Procs[0].Client()
+	dup := api.Tx{ID: "harness-dup", Kind: api.KindPut, Key: "dup", Value: []byte("v")}
+	if _, err := c0.Submit(dup); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Submit(dup); !errors.Is(err, chain.ErrDuplicate) {
+		t.Fatalf("remote duplicate err = %v, want chain.ErrDuplicate", err)
+	}
+
+	// Every process's peers converge on identical verified chains, and
+	// the processes stayed isolated: each one's stats count only its own
+	// submissions.
+	for pi, proc := range cluster.Procs {
+		audit, err := proc.WaitConverged(10 * time.Second)
+		if err != nil {
+			t.Fatalf("proc %d: %v", pi, err)
+		}
+		for _, sh := range audit.Shards {
+			if len(sh.Heights) != 4 {
+				t.Fatalf("proc %d shard %s has %d peers, want 4 (f=1)", pi, sh.Name, len(sh.Heights))
+			}
+		}
+		st, err := proc.Client().Stats()
+		if err != nil {
+			t.Fatalf("proc %d stats: %v", pi, err)
+		}
+		want := int64(perProc)
+		if pi == 0 {
+			want += 2 // the duplicate probe pair
+		}
+		if st.Total.Submitted != want {
+			t.Fatalf("proc %d submitted = %d, want %d (processes must be isolated)", pi, st.Total.Submitted, want)
+		}
+		if st.Total.Accepted != want-st.Total.Duplicates {
+			t.Fatalf("proc %d accepted = %d, duplicates = %d, submitted = %d",
+				pi, st.Total.Accepted, st.Total.Duplicates, st.Total.Submitted)
+		}
+	}
+
+	// Graceful shutdown: SIGTERM is the server's clean exit path.
+	if err := cluster.Stop(); err != nil {
+		t.Fatalf("graceful stop: %v", err)
+	}
+}
+
+// TestRemoteConfUpdate reconfigures a running server process over the
+// wire and checks the change is live without restart.
+func TestRemoteConfUpdate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process harness is not -short")
+	}
+	bin, err := BuildServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := Start(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = proc.Stop() })
+	if err := proc.WaitHealthy(startTimeout); err != nil {
+		t.Fatal(err)
+	}
+	client := proc.Client()
+	view, err := client.SetConf(api.ConfUpdate{BatchSize: intp(1), FlushInterval: strp("1ms")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.BatchSize != 1 {
+		t.Fatalf("batchSize = %d after update, want 1", view.BatchSize)
+	}
+	txs := make([]api.Tx, 6)
+	for i := range txs {
+		txs[i] = api.Tx{Kind: api.KindPut, Key: fmt.Sprintf("k%d", i), Value: []byte("v")}
+	}
+	if _, err := client.SubmitBatch(txs); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total.Batches.MaxSize != 1 {
+		t.Fatalf("max proposed batch = %d with batchSize=1 set over the wire, want 1", st.Total.Batches.MaxSize)
+	}
+}
+
+func intp(n int) *int       { return &n }
+func strp(s string) *string { return &s }

@@ -18,12 +18,13 @@ type Proposer func(ops [][]byte) (wait func() error)
 
 // BatchStats summarizes proposed batches. Hist is a power-of-two
 // batch-size histogram: Hist[i] counts batches with size in [2^i, 2^(i+1))
-// (Hist[0] counts size-1 batches).
+// (Hist[0] counts size-1 batches). JSON tags make it part of the unified
+// stats shape internal/api serves at /stats.
 type BatchStats struct {
-	Batches int64
-	Ops     int64
-	MaxSize int
-	Hist    [16]int64
+	Batches int64     `json:"batches"`
+	Ops     int64     `json:"ops"`
+	MaxSize int       `json:"maxSize"`
+	Hist    [16]int64 `json:"hist"`
 }
 
 // MeanSize is the average ops per proposed batch.
@@ -69,6 +70,14 @@ type Batcher struct {
 	mu    sync.Mutex
 	stats BatchStats
 
+	// The in-flight gate: a counter guarded by a cond instead of a fixed
+	// semaphore, because the MaxInFlight bound re-resolves from the pool's
+	// live config on every acquire (a runtime conf change applies to the
+	// next batch, no restart).
+	flMu     sync.Mutex
+	flCond   *sync.Cond
+	inFlight int
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{} // dispatch loop exited
@@ -84,23 +93,46 @@ func NewBatcher(pool *Pool, propose Proposer) *Batcher {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	b.flCond = sync.NewCond(&b.flMu)
 	go b.run()
 	return b
 }
 
+// acquireSlot blocks until an in-flight slot frees up under the current
+// MaxInFlight (re-read on every wakeup). Returns false when the batcher
+// is stopping.
+func (b *Batcher) acquireSlot() bool {
+	b.flMu.Lock()
+	defer b.flMu.Unlock()
+	for {
+		select {
+		case <-b.stop:
+			return false
+		default:
+		}
+		if b.inFlight < b.pool.Config().MaxInFlight {
+			b.inFlight++
+			return true
+		}
+		b.flCond.Wait()
+	}
+}
+
+func (b *Batcher) releaseSlot() {
+	b.flMu.Lock()
+	b.inFlight--
+	b.flMu.Unlock()
+	b.flCond.Broadcast()
+}
+
 func (b *Batcher) run() {
 	defer close(b.done)
-	// The semaphore bounds pipelining: a slot is taken before an instance
-	// starts and released when its wait resolves.
-	sem := make(chan struct{}, b.pool.Config().MaxInFlight)
 	for {
 		ops := b.pool.WaitBatch(b.stop)
 		if ops == nil {
 			return
 		}
-		select {
-		case sem <- struct{}{}:
-		case <-b.stop:
+		if !b.acquireSlot() {
 			// Shutting down mid-batch: fail the drained ops so their
 			// producers are not left waiting forever.
 			b.pool.Resolve(ops, ErrClosed)
@@ -124,7 +156,7 @@ func (b *Batcher) run() {
 		b.wg.Add(1)
 		go func(ops []Op) {
 			defer b.wg.Done()
-			defer func() { <-sem }()
+			defer b.releaseSlot()
 			b.pool.Resolve(ops, wait())
 		}(ops)
 	}
@@ -133,7 +165,10 @@ func (b *Batcher) run() {
 // Stop halts dispatch and waits for in-flight instances to resolve. The
 // pool stays open: a new Batcher may take over (leader turnover).
 func (b *Batcher) Stop() {
-	b.stopOnce.Do(func() { close(b.stop) })
+	b.stopOnce.Do(func() {
+		close(b.stop)
+		b.flCond.Broadcast()
+	})
 	<-b.done
 	b.wg.Wait()
 }

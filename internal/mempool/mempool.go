@@ -55,17 +55,26 @@ func LaneIndex(key string, width int) int {
 	return int(h.Sum32() % uint32(width))
 }
 
-// Errors returned by Add.
+// Errors returned by Add (directly or through the ack callback).
 var (
 	// ErrFull reports that the pool is at its admission cap.
 	ErrFull = errors.New("mempool: pool full")
 	// ErrClosed reports that the pool was closed.
 	ErrClosed = errors.New("mempool: pool closed")
+	// ErrDuplicate reports that the op's ID already executed within the
+	// dedup TTL: the original committed, so the add is acked with this
+	// sentinel instead of being proposed again. It marks success with a
+	// flag, not failure — callers branch on it to mean "already
+	// committed", and the HTTP layer maps it to 409.
+	ErrDuplicate = errors.New("mempool: duplicate op (already executed)")
 )
 
 // Config sizes a Pool and its Batcher. Zero fields default from the
-// current conf snapshot (conf.Snapshot), so runtime retuning applies to
-// every pool built afterwards.
+// current conf snapshot (conf.Snapshot) — and keep tracking it: Cap,
+// BatchSize, FlushInterval and MaxInFlight re-resolve on every use, so a
+// runtime conf.Update (e.g. POST /conf on a running server) retunes live
+// pools without a restart. Lanes and DedupTTL are structural (the lane
+// slices and the TTL filter are built once) and resolve only at NewPool.
 type Config struct {
 	Cap           int           // admission bound on unresolved ops
 	Lanes         int           // key-hashed lane count
@@ -107,30 +116,33 @@ type opState struct {
 }
 
 // PoolStats is a snapshot of the pool's admission and dedup counters.
+// JSON tags make it part of the unified stats shape internal/api serves
+// at /stats.
 type PoolStats struct {
 	// Depth is the number of ops queued in lanes (not yet drained).
-	Depth int
+	Depth int `json:"depth"`
 	// InFlight is the number of ops drained into proposals that have not
 	// resolved yet.
-	InFlight int
+	InFlight int `json:"inFlight"`
 	// Admitted counts ops accepted into the pool.
-	Admitted int64
+	Admitted int64 `json:"admitted"`
 	// RejectedFull counts ops refused by admission control.
-	RejectedFull int64
+	RejectedFull int64 `json:"rejectedFull"`
 	// DupPending counts adds that attached to an already-pending op.
-	DupPending int64
+	DupPending int64 `json:"dupPending"`
 	// DupExecuted counts adds acked immediately because the ID executed
 	// within the dedup TTL.
-	DupExecuted int64
+	DupExecuted int64 `json:"dupExecuted"`
 	// Acked / Failed count resolved ops by outcome.
-	Acked  int64
-	Failed int64
+	Acked  int64 `json:"acked"`
+	Failed int64 `json:"failed"`
 }
 
 // Pool is the pending pool. One Batcher drains it; any number of
 // producers Add concurrently.
 type Pool struct {
-	cfg Config
+	raw Config // as passed to NewPool: zero fields mean "track conf live"
+	cfg Config // resolved at construction; source of the structural knobs
 
 	mu       sync.Mutex
 	lanes    [][]Op
@@ -144,20 +156,44 @@ type Pool struct {
 	stats    PoolStats
 }
 
-// NewPool builds a pool; zero Config fields default from conf.
+// NewPool builds a pool; zero Config fields default from conf and keep
+// tracking later conf updates (see Config).
 func NewPool(cfg Config) *Pool {
-	cfg = cfg.withDefaults()
+	resolved := cfg.withDefaults()
 	return &Pool{
-		cfg:      cfg,
-		lanes:    make([][]Op, cfg.Lanes),
+		raw:      cfg,
+		cfg:      resolved,
+		lanes:    make([][]Op, resolved.Lanes),
 		states:   make(map[string]*opState),
-		executed: NewTTLFilter(cfg.DedupTTL),
+		executed: NewTTLFilter(resolved.DedupTTL),
 		notify:   make(chan struct{}, 1),
 	}
 }
 
-// Config returns the resolved configuration the pool runs with.
-func (p *Pool) Config() Config { return p.cfg }
+// Config returns the configuration the pool is running with right now.
+// Fields that were zero at NewPool re-resolve against the current conf
+// snapshot, so a runtime conf change shows up here — and in the pool's
+// behaviour — immediately; explicitly-set fields and the structural knobs
+// (Lanes, DedupTTL) stay pinned.
+func (p *Pool) Config() Config {
+	c := p.raw
+	d := conf.Snapshot()
+	if c.Cap <= 0 {
+		c.Cap = d.MempoolCap
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = d.BatchSize
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = d.FlushInterval
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = d.MaxInFlight
+	}
+	c.Lanes = p.cfg.Lanes
+	c.DedupTTL = p.cfg.DedupTTL
+	return c
+}
 
 // Add admits op. done is invoked exactly once with the op's outcome (nil
 // when the op's batch committed). Duplicate IDs attach to the pending op
@@ -182,10 +218,10 @@ func (p *Pool) Add(op Op, done func(error)) error {
 	if p.executed.Has(op.ID) {
 		p.stats.DupExecuted++
 		p.mu.Unlock()
-		done(nil)
+		done(ErrDuplicate)
 		return nil
 	}
-	if p.queued+p.inFlight >= p.cfg.Cap {
+	if p.queued+p.inFlight >= p.Config().Cap {
 		p.stats.RejectedFull++
 		p.mu.Unlock()
 		return ErrFull
@@ -253,20 +289,21 @@ func (p *Pool) WaitBatch(stop <-chan struct{}) []Op {
 	}()
 	flushing := false
 	for {
+		cfg := p.Config() // re-resolved each pass: conf changes apply live
 		p.mu.Lock()
 		if p.closed {
 			p.mu.Unlock()
 			return nil
 		}
-		if p.queued >= p.cfg.BatchSize || (p.queued > 0 && (flushing || p.cfg.FlushInterval <= 0)) {
-			ops := p.drainLocked(p.cfg.BatchSize)
+		if p.queued >= cfg.BatchSize || (p.queued > 0 && (flushing || cfg.FlushInterval <= 0)) {
+			ops := p.drainLocked(cfg.BatchSize)
 			p.mu.Unlock()
 			return ops
 		}
 		armed := p.queued > 0
 		p.mu.Unlock()
 		if armed && flushC == nil {
-			flush = time.NewTimer(p.cfg.FlushInterval)
+			flush = time.NewTimer(cfg.FlushInterval)
 			flushC = flush.C
 		}
 		select {

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"prever/internal/conf"
 )
 
 // --- TTLFilter -----------------------------------------------------------
@@ -177,12 +179,17 @@ func TestPoolDuplicateSuppression(t *testing.T) {
 	if got := acks.Load(); got != 3 {
 		t.Fatalf("acks = %d, want 3 (fan-out to every duplicate submitter)", got)
 	}
-	// Executed duplicate: acked immediately, never re-queued.
-	if err := p.Add(Op{ID: "x", Lane: "a"}, ack); err != nil {
+	// Executed duplicate: acked immediately with ErrDuplicate ("already
+	// committed"), never re-queued.
+	var dupErr error
+	if err := p.Add(Op{ID: "x", Lane: "a"}, func(err error) { dupErr = err; acks.Add(1) }); err != nil {
 		t.Fatal(err)
 	}
 	if got := acks.Load(); got != 4 {
 		t.Fatalf("executed duplicate not acked immediately (acks = %d)", got)
+	}
+	if !errors.Is(dupErr, ErrDuplicate) {
+		t.Fatalf("executed duplicate acked with %v, want ErrDuplicate", dupErr)
 	}
 	if got := len(drainAll(p)); got != 0 {
 		t.Fatalf("executed duplicate re-queued: drained %d", got)
@@ -190,6 +197,44 @@ func TestPoolDuplicateSuppression(t *testing.T) {
 	s := p.Stats()
 	if s.DupPending != 2 || s.DupExecuted != 1 {
 		t.Fatalf("stats = %+v, want DupPending 2 / DupExecuted 1", s)
+	}
+}
+
+// TestPoolTracksConfLive pins the runtime-retuning contract: knobs left
+// zero at NewPool re-resolve against the live conf snapshot on every use,
+// while explicitly-set knobs and the structural ones stay pinned.
+func TestPoolTracksConfLive(t *testing.T) {
+	conf.Reset()
+	t.Cleanup(conf.Reset)
+	p := NewPool(Config{Cap: 7}) // Cap pinned; everything else tracks conf
+	if got := p.Config(); got.Cap != 7 || got.BatchSize != conf.BatchSize() {
+		t.Fatalf("initial config = %+v", got)
+	}
+	conf.Update(func(c *conf.Config) {
+		c.BatchSize = 3
+		c.FlushInterval = 42 * time.Millisecond
+		c.MaxInFlight = 9
+		c.MempoolCap = 1
+		c.Lanes = 99 // structural: must NOT apply to a live pool
+	})
+	got := p.Config()
+	if got.BatchSize != 3 || got.FlushInterval != 42*time.Millisecond || got.MaxInFlight != 9 {
+		t.Fatalf("conf change not visible: %+v", got)
+	}
+	if got.Cap != 7 {
+		t.Fatalf("explicit Cap drifted to %d", got.Cap)
+	}
+	if got.Lanes == 99 {
+		t.Fatal("structural Lanes knob re-resolved on a live pool")
+	}
+	// The new BatchSize applies to the next drain: queue 5, drain one batch.
+	for i := 0; i < 5; i++ {
+		if err := p.Add(Op{ID: fmt.Sprintf("c%d", i), Lane: "a"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ops := p.WaitBatch(nil); len(ops) != 3 {
+		t.Fatalf("drained %d ops, want the live BatchSize of 3", len(ops))
 	}
 }
 

@@ -532,12 +532,69 @@ func NewDPAccountant(totalEpsilon float64) (*dp.Accountant, error) {
 // NewDPIndex builds a differentially private range index.
 func NewDPIndex(cfg dp.IndexConfig) (*dp.Index, error) { return dp.NewIndex(cfg) }
 
+// NetworkConfig configures the simulated network (node count,
+// latency distribution, drop rate, seed).
+type NetworkConfig = netsim.Config
+
+// Network is the simulated message fabric consensus replicas run on.
+type Network = netsim.Network
+
 // NewNetwork builds a simulated network for distributed deployments.
-func NewNetwork(cfg netsim.Config) *netsim.Network { return netsim.New(cfg) }
+func NewNetwork(cfg NetworkConfig) *Network { return netsim.New(cfg) }
+
+// The permissioned-chain surface, re-exported so external consumers
+// (who cannot import internal/chain) can configure shards, construct
+// transactions, and branch on the typed submission sentinels.
+type (
+	// Shard is one permissioned-chain shard (3f+1 PBFT replicas).
+	Shard = chain.Shard
+	// Sharded groups shards into one logical key-routed chain.
+	Sharded = chain.Sharded
+	// ShardConfig configures one chain shard (name, f, collections,
+	// timeout, mempool knobs).
+	ShardConfig = chain.ShardConfig
+	// ChainTx is one blockchain transaction.
+	ChainTx = chain.Tx
+	// ChainTxKind is the transaction type (TxPut, TxPutOnce, TxDelete).
+	ChainTxKind = chain.TxKind
+	// ChainResult is the outcome of one asynchronous chain submission.
+	ChainResult = chain.Result
+	// ChainStats is the unified submission/mempool/batch statistics
+	// struct — the same JSON shape prever-server serves at /stats.
+	ChainStats = chain.Stats
+)
+
+// Chain transaction kinds usable on the submission surface.
+const (
+	TxPut     = chain.TxPut
+	TxPutOnce = chain.TxPutOnce
+	TxDelete  = chain.TxDelete
+)
+
+// Typed submission sentinels (match with errors.Is; the HTTP API maps
+// them to status codes and the wire client maps them back).
+var (
+	// ErrPoolFull is admission-control backpressure: back off and retry.
+	ErrPoolFull = chain.ErrPoolFull
+	// ErrDuplicate acks a resubmission of an already-committed
+	// transaction — a success with a flag, not a failure.
+	ErrDuplicate = chain.ErrDuplicate
+	// ErrShardClosed means the submission front end has shut down.
+	ErrShardClosed = chain.ErrShardClosed
+	// ErrTxTooLarge rejects transactions over the runtime size limit.
+	ErrTxTooLarge = chain.ErrTxTooLarge
+)
 
 // NewShard builds a permissioned-blockchain shard over a network.
-func NewShard(n *netsim.Network, cfg chain.ShardConfig) (*chain.Shard, error) {
+func NewShard(n *netsim.Network, cfg ShardConfig) (*chain.Shard, error) {
 	return chain.NewShard(n, cfg)
+}
+
+// NewSharded groups shards into one logical chain (SharPer-style
+// cross-shard 2PC, key-routed SubmitAsync/SubmitBatch) — the surface
+// prever-server fronts over HTTP.
+func NewSharded(shards ...*chain.Shard) (*chain.Sharded, error) {
+	return chain.NewSharded(shards...)
 }
 
 // NewWallet prepares blinded token requests for a period (producer side
