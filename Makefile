@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-json vet fmt fmt-check lint chaos serve-smoke
+.PHONY: build test check race bench bench-json vet fmt fmt-check lint chaos serve-smoke serve-smoke-durable
 
 build:
 	$(GO) build ./...
@@ -57,11 +57,44 @@ serve-smoke:
 	echo "serve-smoke: server at $$addr"; \
 	$(GO) run ./cmd/prever-bench remote -addr "$$addr" -limit 100 -conns 2 -duration 2s -check
 
+# serve-smoke-durable is the crash-durability smoke test: boot a real
+# prever-server with a data directory, load it, SIGKILL it mid-flight
+# (no shutdown hook runs — only what fsync left on disk survives),
+# restart from the same directory, and gate on the recovered server
+# committing fresh load AND every peer chain re-verifying and
+# converging (-audit polls GET /audit).
+serve-smoke-durable:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill -9 $$pid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/prever-server ./cmd/prever-server; \
+	boot() { \
+		$$tmp/prever-server -addr 127.0.0.1:0 -data $$tmp/data -snap-every 32 > $$tmp/server.out 2>$$tmp/server.err & \
+		pid=$$!; \
+		addr=""; \
+		for i in $$(seq 1 100); do \
+			addr=$$(sed -n 's/.*listening on //p' $$tmp/server.out); \
+			[ -n "$$addr" ] && break; \
+			kill -0 $$pid 2>/dev/null || { echo "serve-smoke-durable: server died:"; cat $$tmp/server.err; exit 1; }; \
+			sleep 0.1; \
+		done; \
+		[ -n "$$addr" ] || { echo "serve-smoke-durable: server never printed its address"; exit 1; }; \
+	}; \
+	boot; \
+	echo "serve-smoke-durable: server at $$addr (data $$tmp/data)"; \
+	$(GO) run ./cmd/prever-bench remote -addr "$$addr" -limit 100 -conns 2 -duration 2s -check; \
+	echo "serve-smoke-durable: SIGKILL $$pid"; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	: > $$tmp/server.out; \
+	boot; \
+	echo "serve-smoke-durable: recovered server at $$addr"; \
+	$(GO) run ./cmd/prever-bench remote -addr "$$addr" -limit 100 -conns 2 -duration 2s -check -audit 30s
+
 # check is the CI gate: formatting, static analysis (go vet plus the
 # project analyzers), the full suite under the race detector (the
-# pipeline's concurrency contract is only proven with -race), and the
-# server boot smoke test.
-check: fmt-check vet lint race serve-smoke
+# pipeline's concurrency contract is only proven with -race), the
+# server boot smoke test, and the kill -9 recovery smoke test.
+check: fmt-check vet lint race serve-smoke serve-smoke-durable
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...

@@ -693,3 +693,64 @@ func BenchmarkHarness_AllTablesQuick(b *testing.B) {
 		}
 	}
 }
+
+// --- E10: crash recovery, WAL replay vs snapshots --------------------------
+
+// BenchmarkE10_RecoverReplay measures the restart path behind
+// EXPERIMENTS.md E10: each iteration reopens a data directory holding a
+// committed workload and recovers every peer of a durable shard from its
+// WAL + snapshot. The population cost is paid once outside the timer;
+// the metric to watch across PRs is recovery time staying proportional
+// to the journal tail, not total history.
+func BenchmarkE10_RecoverReplay(b *testing.B) {
+	if testing.Short() {
+		b.Skip("durable shard recovery is heavyweight")
+	}
+	dir := b.TempDir()
+	cfg := chain.ShardConfig{
+		Name:          "bench-e10",
+		F:             1,
+		Timeout:       20 * time.Second,
+		DataDir:       dir,
+		SnapshotEvery: 32,
+	}
+	net := netsim.New(netsim.Config{})
+	s, err := chain.NewShard(net, cfg)
+	if err != nil {
+		net.Close()
+		b.Fatal(err)
+	}
+	const ops = 128
+	txs := make([]chain.Tx, ops)
+	for i := range txs {
+		txs[i] = chain.Tx{Kind: chain.TxPut, Key: fmt.Sprintf("k%d", i%32), Value: []byte("v")}
+	}
+	for _, res := range s.SubmitBatch(txs) {
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+	height := s.Peers()[0].Height()
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	net.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net2 := netsim.New(netsim.Config{})
+		s2, err := chain.NewShard(net2, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := s2.Peers()[0].Height(); got != height {
+			b.Fatalf("recovered height %d, want %d", got, height)
+		}
+		b.StopTimer()
+		if err := s2.Close(); err != nil {
+			b.Fatal(err)
+		}
+		net2.Close()
+		b.StartTimer()
+	}
+}

@@ -1,4 +1,4 @@
-// Command prever-bench runs the PReVer experiment suite (E1–E9, see
+// Command prever-bench runs the PReVer experiment suite (E1–E10, see
 // DESIGN.md §3) and the open-loop load generator.
 //
 // Usage:
@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"prever/internal/api"
 	"prever/internal/bench"
 	"prever/internal/conf"
 )
@@ -68,6 +69,7 @@ func runLoad(args []string, local bool) {
 	fFlag := fs.Int("f", 1, "tolerated Byzantine peers per shard (local mode)")
 	jsonFlag := fs.Bool("json", false, "emit the report as JSON")
 	checkFlag := fs.Bool("check", false, "exit nonzero unless the run committed transactions without errors (smoke gate)")
+	auditFlag := fs.Duration("audit", 0, "after the load run, poll GET /audit up to this long until every peer chain verifies and converges (0 = skip)")
 	_ = fs.Parse(args)
 
 	base := *addrFlag
@@ -116,13 +118,48 @@ func runLoad(args []string, local bool) {
 		fmt.Fprintf(os.Stderr, "prever-bench: smoke check ok: committed=%d at %.0f/s\n",
 			report.Committed, report.AchievedRate())
 	}
+	if *auditFlag > 0 {
+		if err := waitAudit(base, *auditFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "prever-bench: audit FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "prever-bench: audit ok: all peer chains verify and converge")
+	}
+}
+
+// waitAudit polls GET /audit until the server reports every peer chain
+// clean AND converged, or the timeout elapses. Convergence is eventual
+// (peers apply asynchronously, and a freshly restarted server may still
+// be state-transferring recovered replicas), so polling is the contract;
+// a dirty chain is terminal and reported immediately.
+func waitAudit(base string, timeout time.Duration) error {
+	client := api.NewClient(base)
+	deadline := time.Now().Add(timeout)
+	var last api.AuditResponse
+	var lastErr error
+	for time.Now().Before(deadline) {
+		last, lastErr = client.Audit()
+		if lastErr == nil {
+			if !last.Clean {
+				return fmt.Errorf("chain verification failed: %+v", last.Shards)
+			}
+			if last.Converged {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if lastErr != nil {
+		return fmt.Errorf("audit unreachable after %s: %w", timeout, lastErr)
+	}
+	return fmt.Errorf("peers never converged within %s: %+v", timeout, last.Shards)
 }
 
 func runExperiments(args []string) {
 	defaults := conf.Defaults()
 	fs := flag.NewFlagSet("prever-bench", flag.ExitOnError)
 	scaleFlag := fs.String("scale", "quick", "experiment scale: quick or full")
-	onlyFlag := fs.String("only", "", "run a single experiment (E1, E1b, E2..E9)")
+	onlyFlag := fs.String("only", "", "run a single experiment (E1, E1b, E2..E10)")
 	jsonFlag := fs.Bool("json", false, "emit machine-readable JSON tables instead of text")
 	batchFlag := fs.Int("batch", defaults.BatchSize, "mempool batch size (ops per consensus instance)")
 	flushFlag := fs.Duration("flush", defaults.FlushInterval, "partial-batch flush interval")
@@ -161,6 +198,7 @@ func runExperiments(args []string) {
 		"E7":  bench.E7DP,
 		"E8":  bench.E8Adversary,
 		"E9":  bench.E9OpenLoad,
+		"E10": bench.E10Recovery,
 	}
 
 	start := time.Now()

@@ -7,7 +7,14 @@
 //
 //	prever-server [-addr 127.0.0.1:9473] [-shards N] [-f K] [-timeout D]
 //	              [-batch N] [-flush D] [-inflight K] [-mempool-cap N]
-//	              [-lanes N] [-max-tx-bytes N]
+//	              [-lanes N] [-max-tx-bytes N] [-data DIR] [-snap-every N]
+//
+// With -data, every consensus replica journals its protocol state to a
+// write-ahead log under DIR (one subdirectory per peer) and snapshots
+// every -snap-every executed sequences. A server restarted with the same
+// -data recovers the chain from disk: no acked transaction is lost, even
+// across a SIGKILL. Without -data the node is in-memory (state dies with
+// the process).
 //
 // The server prints exactly one line to stdout once it accepts
 // connections:
@@ -58,6 +65,8 @@ func run() error {
 	capFlag := flag.Int("mempool-cap", defaults.MempoolCap, "mempool admission-control cap")
 	lanesFlag := flag.Int("lanes", defaults.Lanes, "key-hashed mempool lanes")
 	maxTxFlag := flag.Int("max-tx-bytes", defaults.MaxTxBytes, "per-transaction size limit (HTTP 413 beyond)")
+	dataFlag := flag.String("data", "", "data directory for crash durability (empty = in-memory)")
+	snapEveryFlag := flag.Uint64("snap-every", defaults.SnapshotEvery, "executed sequences between durable snapshots (with -data)")
 	flag.Parse()
 
 	conf.Update(func(c *conf.Config) {
@@ -67,6 +76,7 @@ func run() error {
 		c.MempoolCap = *capFlag
 		c.Lanes = *lanesFlag
 		c.MaxTxBytes = *maxTxFlag
+		c.SnapshotEvery = *snapEveryFlag
 	})
 
 	if *shardsFlag < 1 {
@@ -80,6 +90,7 @@ func run() error {
 			Name:    fmt.Sprintf("shard%d", i),
 			F:       *fFlag,
 			Timeout: *timeoutFlag,
+			DataDir: *dataFlag,
 		})
 		if err != nil {
 			return err

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -107,6 +108,16 @@ func (c *Client) SubmitPrivate(collection, key string, value []byte) (string, er
 		return "", err
 	}
 	return resp.TxID, nil
+}
+
+// Get reads a key's current value from its home shard. found false
+// means the key is absent (deleted or never written), not an error.
+func (c *Client) Get(key string) (value []byte, found bool, err error) {
+	var resp GetResponse
+	if err := c.do(http.MethodGet, "/get?key="+url.QueryEscape(key), nil, &resp); err != nil {
+		return nil, false, err
+	}
+	return resp.Value, resp.Found, nil
 }
 
 // Stats fetches the unified statistics document.

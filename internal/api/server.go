@@ -31,6 +31,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /submit", s.handleSubmit)
 	mux.HandleFunc("POST /submit-batch", s.handleSubmitBatch)
 	mux.HandleFunc("POST /submit-private", s.handleSubmitPrivate)
+	mux.HandleFunc("GET /get", s.handleGet)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /health", s.handleHealth)
 	mux.HandleFunc("GET /audit", s.handleAudit)
@@ -151,6 +152,28 @@ func (s *Server) handleSubmitPrivate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SubmitResponse{TxID: res.TxID})
+}
+
+// handleGet reads a key from its home shard's world state. The durable
+// smoke test and kill-recover harness use it to assert every acked write
+// is still readable after a crash-restart.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeErr(w, CodeInvalid, "missing key parameter")
+		return
+	}
+	if len(key) > MaxKeyBytes {
+		writeErr(w, CodeInvalid, fmt.Sprintf("key is %d bytes (limit %d)", len(key), MaxKeyBytes))
+		return
+	}
+	peer := s.chain.ShardFor(key).Peers()[0]
+	val, err := peer.Get(key)
+	if err != nil {
+		writeJSON(w, http.StatusOK, GetResponse{Key: key, Found: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, GetResponse{Key: key, Value: val, Found: true})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

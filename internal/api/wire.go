@@ -10,6 +10,7 @@
 //	POST /submit         one transaction        -> SubmitResponse
 //	POST /submit-batch   many transactions      -> BatchResponse
 //	POST /submit-private private collection put -> SubmitResponse
+//	GET  /get            world-state read       -> GetResponse
 //	GET  /stats          unified chain.Stats    -> StatsResponse
 //	GET  /health         liveness               -> HealthResponse
 //	GET  /audit          per-peer chain audit   -> AuditResponse
@@ -179,6 +180,15 @@ func (r PrivateSubmitRequest) Validate() error {
 		return errors.New("missing value")
 	}
 	return nil
+}
+
+// GetResponse is the body of GET /get?key=K: the key's current value in
+// the home shard's world state. Found false (HTTP 200) means the key is
+// absent — deleted or never written — not an error.
+type GetResponse struct {
+	Key   string `json:"key"`
+	Value []byte `json:"value,omitempty"`
+	Found bool   `json:"found"`
 }
 
 // StatsResponse is the unified statistics document served at GET /stats:

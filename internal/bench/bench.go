@@ -150,6 +150,7 @@ func Experiments() []func(Scale) (*Table, error) {
 		E7DP,
 		E8Adversary,
 		E9OpenLoad,
+		E10Recovery,
 	}
 }
 

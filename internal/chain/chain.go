@@ -11,14 +11,18 @@
 package chain
 
 import (
+	"crypto/rand"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"prever/internal/conf"
 	"prever/internal/mempool"
 	"prever/internal/merkle"
 	"prever/internal/netsim"
@@ -305,6 +309,8 @@ func VerifyTxProof(proof merkle.InclusionProof, tx Tx, blk Block) error {
 // asynchronously (SubmitAsync / SubmitBatch).
 type Shard struct {
 	Name     string
+	nonce    string // boot nonce: disambiguates client identity and tx IDs across restarts
+	durable  bool
 	peers    []*Peer
 	replicas []*pbft.Replica
 	client   *pbft.Client
@@ -325,6 +331,14 @@ type ShardConfig struct {
 	PBFT        pbft.Options
 	Timeout     time.Duration  // per-transaction commit timeout
 	Mempool     mempool.Config // zero fields default from conf.Snapshot
+	// DataDir, when set, makes every peer's PBFT replica crash-durable:
+	// consensus state is journaled to a WAL under DataDir/<peerID> and
+	// the peer's chain is snapshot-restored on reopen. Empty means
+	// in-memory (state dies with the process).
+	DataDir string
+	// SnapshotEvery is the executed-sequence cadence between durable
+	// snapshots. Zero defaults from conf.Snapshot().SnapshotEvery.
+	SnapshotEvery uint64
 }
 
 // NewShard builds a shard of 3F+1 peers on the network.
@@ -351,11 +365,11 @@ func NewShard(net *netsim.Network, cfg ShardConfig) (*Shard, error) {
 		}
 		return out
 	}
-	s := &Shard{Name: cfg.Name, timeout: cfg.Timeout}
+	s := &Shard{Name: cfg.Name, nonce: bootNonce(), durable: cfg.DataDir != "", timeout: cfg.Timeout}
 	for _, id := range ids {
 		peer := newPeer(id, memberOf(id))
 		s.peers = append(s.peers, peer)
-		replica, err := pbft.NewReplica(net, id, ids, cfg.F, func(_ uint64, batch []pbft.Request) {
+		applier := func(_ uint64, batch []pbft.Request) {
 			txs := make([]Tx, 0, len(batch))
 			decode := func(op []byte) {
 				var tx Tx
@@ -378,13 +392,35 @@ func NewShard(net *netsim.Network, cfg ShardConfig) (*Shard, error) {
 			if len(txs) > 0 {
 				peer.applyBatch(txs)
 			}
-		}, cfg.PBFT)
+		}
+		var replica *pbft.Replica
+		var err error
+		if cfg.DataDir != "" {
+			snapEvery := cfg.SnapshotEvery
+			if snapEvery == 0 {
+				snapEvery = conf.SnapshotEvery()
+			}
+			// Peer IDs like "shard0/peer3" nest naturally as directories.
+			replica, err = pbft.NewDurableReplica(net, id, ids, cfg.F, applier, cfg.PBFT, pbft.DurableOptions{
+				Dir:           filepath.Join(cfg.DataDir, id),
+				App:           peer,
+				SnapshotEvery: snapEvery,
+				SegmentBytes:  conf.WALSegmentBytes(),
+			})
+		} else {
+			replica, err = pbft.NewReplica(net, id, ids, cfg.F, applier, cfg.PBFT)
+		}
 		if err != nil {
 			return nil, err
 		}
 		s.replicas = append(s.replicas, replica)
 	}
-	client, err := pbft.NewClient(net, s.replicas, "chain/"+cfg.Name, pbft.ClientOptions{})
+	// The client name and tx IDs carry the boot nonce: a restarted process
+	// reuses the same client identity namespace otherwise, and its
+	// restarted sequence counter / tx counter would collide with the
+	// recovered dedup state (executedR, appliedTx) — silently dropping
+	// fresh transactions as "already executed".
+	client, err := pbft.NewClient(net, s.replicas, "chain/"+cfg.Name+"/"+s.nonce, pbft.ClientOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -400,12 +436,31 @@ func NewShard(net *netsim.Network, cfg ShardConfig) (*Shard, error) {
 	return s, nil
 }
 
+// bootNonce returns a short random token unique to this process
+// incarnation.
+func bootNonce() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("chain: boot nonce: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // Close stops the shard's batcher and fails any queued transactions with
-// an error. The consensus replicas keep running (they belong to the
-// network); only the submission front end shuts down.
+// an error, then (for durable shards) syncs and closes every replica's
+// journal. The consensus replicas keep running in memory (they belong to
+// the network); only the submission front end and storage shut down.
 func (s *Shard) Close() error {
 	s.batcher.Stop()
-	return s.pool.Close()
+	err := s.pool.Close()
+	if s.durable {
+		for _, r := range s.replicas {
+			if cerr := r.CloseStorage(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
 }
 
 // Peers returns the shard's peers.
@@ -421,7 +476,7 @@ func (s *Shard) Replicas() []*pbft.Replica { return s.replicas }
 // transaction's batch commits.
 func (s *Shard) SubmitPrivate(collection, key string, value []byte) <-chan Result {
 	tx := Tx{
-		ID:         fmt.Sprintf("%s-ptx-%d", s.Name, s.seq.Add(1)),
+		ID:         fmt.Sprintf("%s-%s-ptx-%d", s.Name, s.nonce, s.seq.Add(1)),
 		Kind:       TxPrivatePut,
 		Collection: collection,
 		Key:        key,
@@ -441,6 +496,7 @@ func (s *Shard) SubmitPrivate(collection, key string, value []byte) <-chan Resul
 // involved shards' consensus.
 type Sharded struct {
 	shards []*Shard
+	nonce  string // boot nonce: keeps cross-shard XIDs from colliding with recovered prepares
 	xseq   atomic.Uint64
 }
 
@@ -449,7 +505,7 @@ func NewSharded(shards ...*Shard) (*Sharded, error) {
 	if len(shards) == 0 {
 		return nil, errors.New("chain: need at least one shard")
 	}
-	return &Sharded{shards: shards}, nil
+	return &Sharded{shards: shards, nonce: bootNonce()}, nil
 }
 
 // Shards returns the shard list.
@@ -481,7 +537,7 @@ func (c *Sharded) SubmitCross(writes []Tx) error {
 	if len(writes) == 0 {
 		return nil
 	}
-	xid := fmt.Sprintf("xtx-%d", c.xseq.Add(1))
+	xid := fmt.Sprintf("xtx-%s-%d", c.nonce, c.xseq.Add(1))
 	// Group writes by home shard.
 	byShard := make(map[*Shard][]Tx)
 	for _, w := range writes {

@@ -111,7 +111,7 @@ func laneOf(tx Tx) string {
 func (s *Shard) SubmitAsync(tx Tx) <-chan Result {
 	ch := make(chan Result, 1)
 	if tx.ID == "" {
-		tx.ID = fmt.Sprintf("%s-tx-%d", s.Name, s.seq.Add(1))
+		tx.ID = fmt.Sprintf("%s-%s-tx-%d", s.Name, s.nonce, s.seq.Add(1))
 	}
 	id := tx.ID
 	start := time.Now()

@@ -43,18 +43,27 @@ type Config struct {
 	// larger submissions fail with chain.ErrTxTooLarge (HTTP 413 on the
 	// wire) instead of bloating consensus batches.
 	MaxTxBytes int
+	// SnapshotEvery is the executed-sequence cadence between durable
+	// consensus snapshots (WAL compaction points) when a shard runs with
+	// a data directory.
+	SnapshotEvery uint64
+	// WALSegmentBytes is the WAL segment rotation threshold for durable
+	// replicas.
+	WALSegmentBytes int64
 }
 
 // Defaults is the configuration the system boots with.
 func Defaults() Config {
 	return Config{
-		BatchSize:     64,
-		FlushInterval: 500 * time.Microsecond,
-		MaxInFlight:   4,
-		MempoolCap:    4096,
-		Lanes:         8,
-		DedupTTL:      time.Minute,
-		MaxTxBytes:    1 << 20,
+		BatchSize:       64,
+		FlushInterval:   500 * time.Microsecond,
+		MaxInFlight:     4,
+		MempoolCap:      4096,
+		Lanes:           8,
+		DedupTTL:        time.Minute,
+		MaxTxBytes:      1 << 20,
+		SnapshotEvery:   256,
+		WALSegmentBytes: 4 << 20,
 	}
 }
 
@@ -81,6 +90,12 @@ func (c *Config) sanitize() {
 	}
 	if c.MaxTxBytes < 1 {
 		c.MaxTxBytes = 1 << 20
+	}
+	if c.SnapshotEvery < 1 {
+		c.SnapshotEvery = 256
+	}
+	if c.WALSegmentBytes < 1 {
+		c.WALSegmentBytes = 4 << 20
 	}
 }
 
@@ -166,3 +181,15 @@ func MaxTxBytes() int { return Snapshot().MaxTxBytes }
 
 // SetMaxTxBytes updates the encoded-transaction size bound.
 func SetMaxTxBytes(n int) { Update(func(c *Config) { c.MaxTxBytes = n }) }
+
+// SnapshotEvery returns the durable-snapshot cadence.
+func SnapshotEvery() uint64 { return Snapshot().SnapshotEvery }
+
+// SetSnapshotEvery updates the durable-snapshot cadence.
+func SetSnapshotEvery(n uint64) { Update(func(c *Config) { c.SnapshotEvery = n }) }
+
+// WALSegmentBytes returns the WAL segment rotation threshold.
+func WALSegmentBytes() int64 { return Snapshot().WALSegmentBytes }
+
+// SetWALSegmentBytes updates the WAL segment rotation threshold.
+func SetWALSegmentBytes(n int64) { Update(func(c *Config) { c.WALSegmentBytes = n }) }

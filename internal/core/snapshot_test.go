@@ -1,0 +1,85 @@
+package core
+
+import (
+	"encoding/json"
+	"math/big"
+	"testing"
+
+	"prever/internal/commit"
+	"prever/internal/group"
+	"prever/internal/wal"
+)
+
+var _ wal.Snapshotter = (*ZKBoundManager)(nil)
+
+// TestZKBoundSnapshotRoundTrip: a manager restored from a snapshot holds
+// the same per-group running commitments, so the owner's NEXT chained
+// proof (produced against the pre-crash total) still verifies.
+func TestZKBoundSnapshotRoundTrip(t *testing.T) {
+	params := commit.NewParams(group.TestGroup())
+	m, err := NewZKBoundManager("zk-snap", params, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := NewZKOwner(params, "zk-snap", 40)
+	for i := 0; i < 3; i++ {
+		u, err := owner.ProduceUpdate([]string{"t0", "t1", "t2"}[i], "w1", "g1", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r, err := m.SubmitZK(u); err != nil || !r.Accepted {
+			t.Fatalf("update %d: %v %+v", i, err, r)
+		}
+	}
+	blob, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := NewZKBoundManager("zk-snap", params, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Running("g1").Equal(m.Running("g1")) {
+		t.Fatal("restored running commitment differs")
+	}
+	// The proof chain continues against the restored fold.
+	u, err := owner.ProduceUpdate("t3", "w1", "g1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m2.SubmitZK(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Accepted {
+		t.Fatalf("post-restore chained update rejected: %s", r.Reason)
+	}
+}
+
+func TestZKBoundRestoreRejectsBadElement(t *testing.T) {
+	params := commit.NewParams(group.TestGroup())
+	m, err := NewZKBoundManager("zk-snap", params, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An element outside the prime-order subgroup must be rejected whole.
+	// P-1 has order 2, never a quadratic residue of the safe prime.
+	nonMember := new(big.Int).Sub(params.Group.P, big.NewInt(1))
+	bad, err := json.Marshal(map[string]any{
+		"format":  "prever/core/zkbound/v1",
+		"running": map[string][]byte{"g1": nonMember.Bytes()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(bad); err == nil {
+		t.Fatal("Restore accepted an out-of-group element")
+	}
+	if err := m.Restore([]byte(`{"format":"nope"}`)); err == nil {
+		t.Fatal("Restore accepted an unknown format")
+	}
+}

@@ -1,0 +1,45 @@
+package dp
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// accountantSnapshot is the durable image of a privacy budget. Restoring
+// the spent counter across crashes matters more than most state: losing
+// it would let a recovered platform re-spend epsilon it already consumed,
+// silently voiding the differential-privacy guarantee.
+type accountantSnapshot struct {
+	Format string  `json:"format"`
+	Total  float64 `json:"total"`
+	Spent  float64 `json:"spent"`
+}
+
+const accountantSnapFormat = "prever/dp/accountant/v1"
+
+// Snapshot encodes the budget counters (wal.Snapshotter).
+func (a *Accountant) Snapshot() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return json.Marshal(accountantSnapshot{Format: accountantSnapFormat, Total: a.total, Spent: a.spent})
+}
+
+// Restore replaces the budget counters with a snapshot's. Rejected whole
+// if the counters are not a valid budget state.
+func (a *Accountant) Restore(data []byte) error {
+	var snap accountantSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("dp: decoding accountant snapshot: %w", err)
+	}
+	if snap.Format != accountantSnapFormat {
+		return fmt.Errorf("dp: unknown accountant snapshot format %q", snap.Format)
+	}
+	if snap.Total <= 0 || snap.Spent < 0 || snap.Spent > snap.Total+1e-12 {
+		return fmt.Errorf("dp: accountant snapshot has invalid budget (total %v, spent %v)", snap.Total, snap.Spent)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.total = snap.Total
+	a.spent = snap.Spent
+	return nil
+}

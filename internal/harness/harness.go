@@ -125,6 +125,18 @@ func (p *Proc) Stop() error {
 	return p.stopErr
 }
 
+// Kill sends SIGKILL immediately — no graceful shutdown, no WAL close,
+// the crash a power cut or OOM kill delivers. Safe to call more than
+// once; after Kill the process's data directory is exactly what fsync
+// made durable.
+func (p *Proc) Kill() error {
+	p.stopOnce.Do(func() {
+		_ = p.cmd.Process.Kill()
+		p.stopErr = <-p.waitCh
+	})
+	return p.stopErr
+}
+
 // WaitHealthy polls GET /health until the process answers ok.
 func (p *Proc) WaitHealthy(timeout time.Duration) error {
 	client := p.Client()

@@ -120,6 +120,95 @@ func TestMultiProcessCluster(t *testing.T) {
 	}
 }
 
+// TestKillRecoverFromDisk is the durability proof at process
+// granularity: boot a server with -data, submit acked transactions,
+// SIGKILL it mid-load (no shutdown hook runs — only fsync survives),
+// restart from the same directory, and read every acked key back. This
+// is the crash a power cut delivers; anything the server acked before
+// the kill must still be there.
+func TestKillRecoverFromDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process harness is not -short")
+	}
+	bin, err := BuildServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataDir := t.TempDir()
+	args := []string{"-data", dataDir, "-flush", "1ms", "-snap-every", "8"}
+	proc, err := Start(bin, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = proc.Kill() })
+	if err := proc.WaitHealthy(startTimeout); err != nil {
+		t.Fatal(err)
+	}
+	client := proc.Client()
+
+	// Submit until the concurrent SIGKILL lands: every successful Submit
+	// is an ack, and the kill races the tail of the load.
+	const killAfter = 25
+	killed := make(chan struct{})
+	acked := make(map[string]string)
+	for i := 0; ; i++ {
+		key := fmt.Sprintf("durable/key%d", i)
+		val := fmt.Sprintf("v%d", i)
+		_, err := client.Submit(api.Tx{Kind: api.KindPut, Key: key, Value: []byte(val)})
+		if err != nil {
+			break // the kill landed mid-load
+		}
+		acked[key] = val
+		if i == killAfter {
+			go func() { defer close(killed); _ = proc.Kill() }()
+		}
+		if i > killAfter+100000 {
+			t.Fatal("SIGKILL never took the server down")
+		}
+	}
+	<-killed
+	if len(acked) <= killAfter {
+		t.Fatalf("only %d acks before the kill landed, want > %d", len(acked), killAfter)
+	}
+
+	// Restart from the same directory. The replicas replay their WALs;
+	// fresh traffic kicks consensus past any batch that was committed
+	// but not yet executed everywhere at kill time.
+	proc2, err := Start(bin, args...)
+	if err != nil {
+		t.Fatalf("restart from %s: %v", dataDir, err)
+	}
+	t.Cleanup(func() { _ = proc2.Stop() })
+	if err := proc2.WaitHealthy(startTimeout); err != nil {
+		t.Fatal(err)
+	}
+	c2 := proc2.Client()
+	if _, err := c2.Submit(api.Tx{Kind: api.KindPut, Key: "durable/post-restart", Value: []byte("p")}); err != nil {
+		t.Fatalf("post-restart submit: %v", err)
+	}
+	audit, err := proc2.WaitConverged(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.Clean || !audit.Converged {
+		t.Fatalf("post-restart audit not clean/converged: %+v", audit)
+	}
+
+	// No acked transaction is lost.
+	for key, want := range acked {
+		got, found, err := c2.Get(key)
+		if err != nil {
+			t.Fatalf("get %s after recovery: %v", key, err)
+		}
+		if !found {
+			t.Fatalf("acked key %s lost across SIGKILL (had %d acked keys)", key, len(acked))
+		}
+		if string(got) != want {
+			t.Fatalf("acked key %s = %q after recovery, want %q", key, got, want)
+		}
+	}
+}
+
 // TestRemoteConfUpdate reconfigures a running server process over the
 // wire and checks the change is live without restart.
 func TestRemoteConfUpdate(t *testing.T) {

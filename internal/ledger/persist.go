@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // journalFile is the on-disk format: a versioned envelope so future
@@ -32,13 +33,43 @@ func (l *Ledger) MarshalJournal() ([]byte, error) {
 	return data, nil
 }
 
-// SaveFile writes the journal to path.
+// SaveFile writes the journal to path atomically: the bytes land in a
+// temp file in the same directory, are fsynced, and only then renamed
+// over path. A crash mid-save leaves either the previous journal or the
+// new one, never a torn file that fails its own audit. The journal stays
+// a single digest-audited full image (rather than adopting the WAL's
+// record framing) because it is an export/exchange format — readers
+// verify the embedded digest over the whole entry list, so a partially
+// valid prefix has no meaning the way a WAL tail does.
 func (l *Ledger) SaveFile(path string) error {
 	data, err := l.MarshalJournal()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ledger: save journal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("ledger: save journal: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ledger: save journal: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
 }
 
 // UnmarshalJournal parses a serialized journal, returning the entries and

@@ -2,6 +2,7 @@ package ledger
 
 import (
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -80,6 +81,98 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("missing file loaded")
+	}
+}
+
+// TestLoadFileRejectsTornWrite: a journal cut short or flipped mid-file
+// (the failure a non-atomic writer leaves behind after a crash) must be
+// rejected at load, never half-loaded. SaveFile itself writes
+// temp-then-rename, so such a file can only come from outside damage —
+// but the loader must still refuse it.
+func TestLoadFileRejectsTornWrite(t *testing.T) {
+	l := newTestLedger()
+	fill(l, 20)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.json")
+	if err := l.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn tail: the file ends mid-record.
+	torn := filepath.Join(dir, "torn.json")
+	if err := os.WriteFile(torn, data[:len(data)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(torn); err == nil {
+		t.Fatal("truncated journal loaded")
+	}
+
+	// Bit flip inside an entry value: still valid JSON but fails the
+	// audit against the embedded digest.
+	entries, d, err := UnmarshalJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries[7].Value = append([]byte(nil), entries[7].Value...)
+	entries[7].Value[0] ^= 0x01
+	tampered, err := json.Marshal(journalFile{Format: journalFormat, Digest: d, Entries: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "flipped.json")
+	if err := os.WriteFile(bad, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil {
+		t.Fatal("bit-flipped journal loaded")
+	}
+
+	// The original, atomically written file still loads.
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("intact journal failed to load: %v", err)
+	}
+}
+
+// TestSaveFileAtomic: saving over an existing journal leaves no window
+// with a missing or partial file — the temp file never shadows the
+// target, and a failed save leaves the previous journal intact.
+func TestSaveFileAtomic(t *testing.T) {
+	l := newTestLedger()
+	fill(l, 5)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.json")
+	if err := l.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	first := l.Digest()
+
+	// Overwrite with a bigger journal; the target must always load.
+	fill(l, 40)
+	if err := l.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Digest() == first {
+		t.Fatal("save did not replace the journal")
+	}
+	// No temp droppings left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		var names []string
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("save left extra files: %v", names)
 	}
 }
 

@@ -14,7 +14,10 @@ import (
 // value that never committed or a fault that was never injected), and the
 // batched async submission surface (ProposeBatch/ProposeAsync/Add start a
 // proposal, Wait resolves a pipelined Pending — dropping any of their
-// errors silently loses a batch outcome). The type checker gates the name
+// errors silently loses a batch outcome), and the durability surface
+// (Snapshot/Restore/AppendSync/CloseStorage/SaveFile — an ignored error
+// there means state that was never actually persisted, or a restore that
+// silently left the old state in place). The type checker gates the name
 // match: a call is only flagged if its result tuple actually contains an
 // error, so merkle.Tree.Append (returns int), netsim.Network.Close
 // (returns nothing) or sync.WaitGroup.Wait never trigger.
@@ -25,7 +28,8 @@ func errCriticalName(name string) bool {
 	switch name {
 	case "Close", "Put", "Delete", "Append", "MarkSpent", "Finalize", "Spend", "Flush", "Sync",
 		"Propose", "BecomeLeader", "Crash", "Restart",
-		"ProposeBatch", "ProposeAsync", "Add", "Wait":
+		"ProposeBatch", "ProposeAsync", "Add", "Wait",
+		"Snapshot", "Restore", "AppendSync", "CloseStorage", "SaveFile":
 		return true
 	}
 	return false

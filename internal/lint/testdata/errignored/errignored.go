@@ -87,3 +87,43 @@ func consensusVoidLookalikes(s sim) {
 	s.Crash()
 	s.Restart()
 }
+
+// store mirrors the durability surface: snapshots, restores, WAL
+// appends, and journal saves whose errors mean "not actually on disk".
+type store struct{}
+
+func (store) Snapshot() ([]byte, error)   { return nil, nil }
+func (store) Restore(data []byte) error   { return nil }
+func (store) AppendSync(rec []byte) error { return nil }
+func (store) CloseStorage() error         { return nil }
+func (store) SaveFile(path string) error  { return nil }
+
+// cache has same-named methods without error results: never flagged.
+type cache struct{}
+
+func (cache) Snapshot() []byte    { return nil }
+func (cache) Restore(data []byte) {}
+
+func discardsDurability(s store) {
+	s.Snapshot()           // want errignored
+	s.Restore(nil)         // want errignored
+	s.AppendSync(nil)      // want errignored
+	defer s.CloseStorage() // want errignored
+	go s.SaveFile("p")     // want errignored
+}
+
+func handlesDurability(s store) error {
+	if _, err := s.Snapshot(); err != nil {
+		return err
+	}
+	if err := s.Restore(nil); err != nil {
+		return err
+	}
+	_ = s.AppendSync(nil) // explicit discard is accepted
+	return s.CloseStorage()
+}
+
+func durabilityVoidLookalikes(c cache) {
+	c.Snapshot()
+	c.Restore(nil)
+}

@@ -40,12 +40,12 @@ func (o *ClientOptions) withDefaults() {
 // in different slots, so callers needing exactly-once must deduplicate in
 // the applied log (as PBFT does with client sequence numbers).
 type Client struct {
-	net      *netsim.Network
-	replicas []*Replica
-	opts     ClientOptions
+	net  *netsim.Network
+	opts ClientOptions
 
-	mu     sync.Mutex
-	leader *Replica
+	mu       sync.Mutex
+	replicas []*Replica
+	leader   *Replica
 }
 
 // NewClient builds a failover client over the given replicas.
@@ -103,6 +103,16 @@ func (c *Client) Propose(value []byte, budget time.Duration) (uint64, error) {
 	}
 }
 
+// SetReplicas swaps the replica set the client fails over across —
+// needed when a crashed replica is rebuilt from its data directory (the
+// recovered object replaces the dead one). Any cached leader is dropped.
+func (c *Client) SetReplicas(replicas []*Replica) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replicas = append([]*Replica(nil), replicas...)
+	c.leader = nil
+}
+
 // leaderFor returns a replica believed to lead, electing one if none
 // does. Crashed replicas are skipped; election candidates rotate with the
 // attempt number so a persistently failing candidate does not wedge the
@@ -115,11 +125,12 @@ func (c *Client) leaderFor(attempt int) *Replica {
 		return r
 	}
 	c.leader = nil
+	replicas := c.replicas
 	c.mu.Unlock()
 
 	var alive []*Replica
 	var claimed *Replica
-	for _, r := range c.replicas {
+	for _, r := range replicas {
 		if !c.net.Alive(r.ID()) {
 			continue
 		}

@@ -3,6 +3,7 @@ package pbft
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,11 +36,24 @@ func (o *ClientOptions) withDefaults() {
 // same client sequence number, so the cluster's executed-request dedup
 // makes a retried operation execute exactly once.
 type Client struct {
-	name     string
-	net      *netsim.Network
+	name string
+	net  *netsim.Network
+	opts ClientOptions
+	seq  atomic.Uint64
+
+	mu       sync.Mutex
 	replicas []*Replica
-	opts     ClientOptions
-	seq      atomic.Uint64
+}
+
+// SetReplicas swaps the replica set the client fails over across —
+// needed when a crashed replica is rebuilt from its data directory (the
+// recovered object replaces the dead one). The client identity and
+// sequence counter are kept: the cluster's dedup state recognises
+// retries across the swap.
+func (c *Client) SetReplicas(replicas []*Replica) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replicas = append([]*Replica(nil), replicas...)
 }
 
 // NewClient builds a failover client over the given replicas. name is the
@@ -103,9 +117,12 @@ func (c *Client) submit(seq uint64, op []byte, budget time.Duration) error {
 // request, which arms view-change timers everywhere and reaches the
 // real primary wherever it is.
 func (c *Client) pick(attempt int) *Replica {
+	c.mu.Lock()
+	replicas := c.replicas
+	c.mu.Unlock()
 	var alive []*Replica
 	var primary *Replica
-	for _, r := range c.replicas {
+	for _, r := range replicas {
 		if c.net.Alive(r.ID()) {
 			if primary == nil && r.IsPrimary() {
 				primary = r

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"prever/internal/netsim"
+	"prever/internal/wal"
 )
 
 // Message type tags.
@@ -103,6 +104,13 @@ type viewChangeMsg struct {
 	Stable   uint64          `json:"stable"`
 	Prepared []preparedEntry `json:"prepared,omitempty"`
 	Replica  string          `json:"replica"`
+	// Exec is the sender's executed floor. A recovered replica holds no
+	// prepared certificates below its snapshot floor (they were compacted
+	// into the snapshot), so the new primary cannot take an absent
+	// certificate below any voter's Exec as proof the sequence never
+	// committed — those sequences are executed history, never null-fill
+	// targets.
+	Exec uint64 `json:"exec,omitempty"`
 }
 
 type newViewMsg struct {
@@ -115,6 +123,7 @@ type newViewMsg struct {
 // the checkpoint/state-transfer pull a restarted replica uses to catch up.
 type stateReqMsg struct {
 	Have uint64 `json:"have"`
+	View uint64 `json:"view,omitempty"` // requester's view, so peers ahead reply even with no entries
 }
 
 // execEntry is one executed batch in a state-transfer reply.
@@ -124,9 +133,29 @@ type execEntry struct {
 	Batch  []Request `json:"batch"`
 }
 
+// stateImage is a full-state checkpoint offered in a state-transfer
+// reply when the sender's retained history no longer reaches the
+// requester's floor — a recovered replica only holds executed batches
+// above its own snapshot, so a peer further behind cannot be caught up
+// entry by entry. The image is deterministic for a given ExecSeq
+// (sorted dedup keys, canonical application blob), so f+1 senders
+// agreeing on its digest proves at least one honest replica holds this
+// exact state.
+type stateImage struct {
+	ExecSeq  uint64   `json:"execSeq"`
+	Executed []string `json:"executed,omitempty"` // sorted client-dedup keys
+	App      []byte   `json:"app,omitempty"`
+}
+
 type stateRepMsg struct {
 	Entries []execEntry `json:"entries,omitempty"`
+	Snap    *stateImage `json:"snap,omitempty"`
 	Replica string      `json:"replica"`
+	// View is the sender's current view: state transfer doubles as view
+	// synchronization. A replica that was down when a new-view message
+	// was broadcast has no other way to learn the cluster moved on — it
+	// would reject every live vote on the view check forever.
+	View uint64 `json:"view,omitempty"`
 }
 
 // envelope wraps every message with an HMAC tag keyed on the (sender,
@@ -172,6 +201,45 @@ type instState struct {
 	commits     map[string]bool
 	committed   bool
 	executed    bool
+	// decided is set when 2f+1 commit votes were counted live: the batch
+	// is irrevocably committed at this sequence cluster-wide. Unlike
+	// committed (= locally prepared, a view-scoped vote), decided is
+	// final — it survives view changes and is safe to hand to peers in
+	// state-transfer replies. Never set during WAL recovery (a recovered
+	// prepared certificate proves a vote, not a decision).
+	decided bool
+	// The prepared certificate, recorded when this replica prepares the
+	// batch and kept until the sequence is checkpointed away. It is
+	// deliberately separate from the per-view vote state above: votes
+	// reset on every view entry, but the certificate must keep appearing
+	// in this replica's view-change messages until a checkpoint covers
+	// the sequence — a cert reported only in the first view change after
+	// preparing would vanish if that view's re-proposal stalled, and the
+	// next primary would null-fill a sequence some replica already
+	// executed and acked.
+	certSet    bool
+	certView   uint64
+	certDigest Digest
+	certBatch  []Request
+}
+
+// setCertLocked records (or refreshes, in a later view) the prepared
+// certificate for this instance.
+func (inst *instState) setCertLocked(view uint64) {
+	inst.certSet = true
+	inst.certView = view
+	inst.certDigest = inst.digest
+	inst.certBatch = inst.batch
+}
+
+// resetVotesLocked clears the per-view vote state on view entry while
+// leaving the prepared certificate (and decided/executed finality)
+// untouched.
+func (inst *instState) resetVotesLocked() {
+	inst.prepares = map[string]bool{}
+	inst.commits = map[string]bool{}
+	inst.committed = false
+	inst.prePrepared = false
 }
 
 // Replica is one PBFT node.
@@ -201,7 +269,31 @@ type Replica struct {
 	vcSolo     int    // timeouts spent in a view change without f+1 support
 	vcTimers   map[Digest]*vcTimer
 	execLog    map[uint64]execEntry            // executed batches, served to restarted peers
+	execFloor  uint64                          // lowest seq execLog covers (recovery trims history)
 	stateVotes map[uint64]map[string]execEntry // state-transfer replies per seq, per sender
+	imgVotes   map[string]*imgVote             // state-image offers per image digest
+	viewClaims map[string]uint64               // views peers advertised in state replies (view sync)
+
+	// Durability (nil log == in-memory mode; see durable.go). applying
+	// counts executions whose Applier call is in flight outside mu —
+	// snapshots are taken only when it is zero, so the application blob
+	// always corresponds exactly to execSeq. walFailed is sticky: a
+	// failed journal write silences this replica's votes (an
+	// un-journaled prepare/commit is unsafe to count) but lets
+	// execution continue in memory.
+	log       *wal.Log
+	logApp    wal.Snapshotter
+	snapEvery uint64
+	lastSnap  uint64
+	applying  int
+	walFailed bool
+}
+
+// imgVote accumulates senders backing one state image (keyed by the
+// image's canonical digest).
+type imgVote struct {
+	img     stateImage
+	senders map[string]bool
 }
 
 // vcTimer guards one watched request. The request rides along so the
@@ -478,7 +570,7 @@ func (r *Replica) onViewChangeTimeout(d Digest, req Request) {
 		return
 	}
 	r.vcSolo++
-	vc := viewChangeMsg{NewView: target, Stable: r.stable, Prepared: r.preparedSetLocked(), Replica: r.id}
+	vc := viewChangeMsg{NewView: target, Stable: r.stable, Prepared: r.preparedSetLocked(), Replica: r.id, Exec: r.execSeq}
 	r.mu.Unlock()
 	r.broadcast(msgViewChange, vc)
 }
@@ -545,6 +637,12 @@ func (r *Replica) flushBatchLocked() {
 	inst.digest = pp.Digest
 	inst.batch = batch
 	inst.prePrepared = true
+	// fsync point: the sequence assignment must be durable before the
+	// pre-prepare leaves the primary. On failure the batch is dropped —
+	// clients retry and the watchdogs recover liveness.
+	if !r.journalLocked(pbRecord{K: pbPP, View: r.view, Seq: seq, Digest: pp.Digest, Batch: batch}) {
+		return
+	}
 	// Broadcast pre-prepare, then treat self as prepared.
 	view := r.view
 	r.mu.Unlock()
@@ -679,6 +777,12 @@ func (r *Replica) onPrePrepare(from string, pp prePrepareMsg) {
 	if pp.Seq >= r.nextSeq {
 		r.nextSeq = pp.Seq + 1
 	}
+	// fsync point: the accepted pre-prepare must be durable before this
+	// replica's prepare vote is sent.
+	if !r.journalLocked(pbRecord{K: pbPP, View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Batch: pp.Batch}) {
+		r.mu.Unlock()
+		return
+	}
 	view := r.view
 	r.mu.Unlock()
 	r.broadcast(msgPrepare, prepareMsg{View: view, Seq: pp.Seq, Digest: pp.Digest, Replica: r.id})
@@ -713,11 +817,19 @@ func (r *Replica) maybeCommitLocked(seq uint64) {
 		return
 	}
 	inst.committed = true // locally "prepared"; send commit once
+	inst.setCertLocked(r.view)
+	// fsync point: the prepared certificate must be durable before the
+	// commit vote — a view change counts on recovered replicas still
+	// holding their certificates. On failure the replica stays silent.
+	if !r.journalLocked(pbRecord{K: pbCM, View: r.view, Seq: seq, Digest: inst.digest}) {
+		return
+	}
 	c := commitMsg{View: r.view, Seq: seq, Digest: inst.digest, Replica: r.id}
 	r.mu.Unlock()
 	r.broadcast(msgCommit, c)
 	r.mu.Lock()
 	inst.commits[r.id] = true
+	r.markDecidedLocked(inst)
 	r.maybeExecuteLocked()
 }
 
@@ -732,7 +844,22 @@ func (r *Replica) onCommit(c commitMsg) {
 		return
 	}
 	inst.commits[c.Replica] = true
+	r.markDecidedLocked(inst)
 	r.maybeExecuteLocked()
+}
+
+// markDecidedLocked promotes an instance to decided once 2f+1 commit
+// votes have been counted live. The check runs at every vote insertion
+// (not in maybeExecuteLocked) because instances above an execution gap
+// reach quorum without executing — exactly the ones that must survive a
+// view change and be servable to recovering peers.
+func (r *Replica) markDecidedLocked(inst *instState) {
+	if inst.prePrepared && len(inst.commits) >= r.commitQuorum() {
+		inst.decided = true
+		// A decided digest is final, so it is also a valid certificate
+		// even if this replica never reached its own prepare quorum.
+		inst.setCertLocked(r.view)
+	}
 }
 
 // maybeExecuteLocked executes committed instances in sequence order.
@@ -781,7 +908,14 @@ func (r *Replica) executeInstanceLocked(seq uint64, digest Digest, batch []Reque
 			delete(r.vcTimers, d)
 		}
 	}
+	// fsync point: the executed batch (with its full request list — the
+	// dedup marks must replay identically) is journaled before any
+	// waiter is woken. A journal failure degrades to in-memory
+	// execution: the batch committed cluster-wide and is recoverable by
+	// state transfer.
+	_ = r.journalLocked(pbRecord{K: pbEX, Seq: seq, Digest: digest, Batch: batch})
 	apply := r.apply
+	r.applying++
 	r.mu.Unlock()
 	if apply != nil && len(fresh) > 0 {
 		apply(seq, fresh)
@@ -790,6 +924,7 @@ func (r *Replica) executeInstanceLocked(seq uint64, digest Digest, batch []Reque
 		close(ch)
 	}
 	r.mu.Lock()
+	r.applying--
 	// Checkpointing.
 	if r.execSeq%r.opts.CheckpointEvery == 0 {
 		ck := checkpointMsg{Seq: r.execSeq, Replica: r.id}
@@ -798,6 +933,7 @@ func (r *Replica) executeInstanceLocked(seq uint64, digest Digest, batch []Reque
 		r.mu.Lock()
 		r.recordCheckpointLocked(ck)
 	}
+	r.maybeSnapshotLocked(seq)
 }
 
 func (r *Replica) onCheckpoint(c checkpointMsg) {
@@ -849,6 +985,7 @@ func (r *Replica) StartViewChange(newView uint64) {
 		Stable:   r.stable,
 		Prepared: r.preparedSetLocked(),
 		Replica:  r.id,
+		Exec:     r.execSeq,
 	}
 	r.mu.Unlock()
 	r.broadcast(msgViewChange, vc)
@@ -860,14 +997,17 @@ func (r *Replica) StartViewChange(newView uint64) {
 // batches, as in the paper's P set. Executed entries matter: the new
 // primary null-fills every gap below its NextSeq, and a committed
 // sequence must appear in some certificate of any 2f+1 view-change
-// quorum or it could be overwritten with a no-op.
+// quorum or it could be overwritten with a no-op. Certificates come
+// from the sticky cert fields, not the per-view vote state: votes are
+// wiped on every view entry, and a certificate must keep being
+// reported for as long as a failed view-change cascade can keep asking.
 func (r *Replica) preparedSetLocked() []preparedEntry {
 	var out []preparedEntry
 	for seq, inst := range r.insts {
-		if seq < r.stable || !inst.committed || !inst.prePrepared {
+		if seq < r.stable || !inst.certSet {
 			continue
 		}
-		out = append(out, preparedEntry{Seq: seq, View: r.view, Digest: inst.digest, Batch: inst.batch})
+		out = append(out, preparedEntry{Seq: seq, View: inst.certView, Digest: inst.certDigest, Batch: inst.certBatch})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
@@ -904,17 +1044,29 @@ func (r *Replica) onViewChange(vc viewChangeMsg) {
 	}
 	// Become primary of the new view: re-propose the union of prepared
 	// batches under the new view, and null-fill every other sequence
-	// between the highest stable checkpoint and NextSeq. Without the
+	// between the quorum's high-water floor and NextSeq. Without the
 	// fill, a sequence a crashed primary assigned but nobody prepared
 	// becomes a permanent gap that wedges execution forever. A filled
-	// sequence cannot have committed anywhere: a committed sequence has
-	// 2f+1 prepared certificates, so any view-change quorum contains one.
+	// sequence cannot have committed anywhere: above every voter's
+	// stable checkpoint AND executed floor nothing has been compacted
+	// away, so a committed sequence still has 2f+1 live prepared
+	// certificates and any view-change quorum contains one. Below a
+	// voter's executed floor that argument is void — recovered replicas
+	// hold no certificates for snapshotted history — so the floor also
+	// lifts base: those sequences are served by state transfer, never
+	// filled.
 	adopt := map[uint64]preparedEntry{}
 	base := r.stable
+	if r.execSeq > base {
+		base = r.execSeq
+	}
 	maxSeq := r.execSeq
 	for _, v := range r.vcs[vc.NewView] {
 		if v.Stable > base {
 			base = v.Stable
+		}
+		if v.Exec > base {
+			base = v.Exec
 		}
 		for _, pe := range v.Prepared {
 			cur, ok := adopt[pe.Seq]
@@ -963,14 +1115,23 @@ func (r *Replica) onViewChange(vc viewChangeMsg) {
 func (r *Replica) reproposeAsPrimary(pp prePrepareMsg) {
 	r.mu.Lock()
 	inst := r.instLocked(pp.Seq)
-	if inst.executed {
+	if inst.executed || inst.decided {
+		// A decided instance is final and carries this same digest (its
+		// 2f+1 prepared certificates intersect every view-change quorum,
+		// so the adopted re-proposal cannot differ). Backups that lack it
+		// re-run agreement among themselves off the new-view broadcast;
+		// resetting it here would only discard a finished decision.
 		r.mu.Unlock()
 		return
 	}
-	*inst = instState{prepares: map[string]bool{}, commits: map[string]bool{}}
+	inst.resetVotesLocked()
 	inst.prePrepared = true
 	inst.digest = pp.Digest
 	inst.batch = pp.Batch
+	if !r.journalLocked(pbRecord{K: pbPP, View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Batch: pp.Batch}) {
+		r.mu.Unlock()
+		return
+	}
 	view := r.view
 	r.mu.Unlock()
 	r.broadcast(msgPrePrepare, pp)
@@ -1001,8 +1162,8 @@ func (r *Replica) onNewView(from string, nv newViewMsg) {
 	for _, pp := range pps {
 		r.mu.Lock()
 		inst := r.instLocked(pp.Seq)
-		if !inst.executed {
-			*inst = instState{prepares: map[string]bool{}, commits: map[string]bool{}}
+		if !inst.executed && !inst.decided {
+			inst.resetVotesLocked()
 		}
 		r.mu.Unlock()
 		r.onPrePrepare(from, pp)
@@ -1020,6 +1181,11 @@ func (r *Replica) enterViewLocked(view, nextSeq uint64) []Request {
 	r.view = view
 	r.inVC = false
 	r.vcSolo = 0
+	// Journal the view switch so a recovered replica rejoins in the view
+	// it left (prepared certificates are view-scoped). Failure is
+	// tolerable: a stale recovered view is pulled forward by the f+1
+	// view-change rule.
+	_ = r.journalLocked(pbRecord{K: pbView, View: view, Seq: nextSeq})
 	if view > r.vcTarget {
 		r.vcTarget = view
 	}
@@ -1031,12 +1197,15 @@ func (r *Replica) enterViewLocked(view, nextSeq uint64) []Request {
 	r.nextSeq = nextSeq
 	delete(r.vcs, view)
 	// Drop un-executed per-view votes; they are invalid in the new view.
+	// Prepared certificates persist (resetVotesLocked leaves them) — they
+	// must keep appearing in view-change messages until checkpointed.
+	// Decided instances are exempt entirely: a counted 2f+1 commit quorum
+	// is final regardless of view, and wiping it would strand the
+	// instance (nobody re-sends commit votes) until state transfer
+	// happens to cover it.
 	for _, inst := range r.insts {
-		if !inst.executed {
-			inst.prepares = map[string]bool{}
-			inst.commits = map[string]bool{}
-			inst.committed = false
-			inst.prePrepared = false
+		if !inst.executed && !inst.decided {
+			inst.resetVotesLocked()
 		}
 	}
 	r.pending = nil
@@ -1103,26 +1272,130 @@ func (r *Replica) Restart() error {
 func (r *Replica) Sync() {
 	r.mu.Lock()
 	have := r.execSeq
+	// Retransmit commit votes for certified but un-executed sequences.
+	// After a crash, recovery restores the certificate with committed =
+	// true — which (correctly) suppresses a fresh vote in the normal
+	// path — but the pre-crash votes counted by peers died with their
+	// incarnations too. If every replica that commit-voted a sequence
+	// crashed before executing it, nobody ever re-sends, the quorum can
+	// never be re-counted, and the sequence wedges even though 2f+1
+	// replicas hold its certificate. Re-voting an idempotent commit on
+	// every Sync (the convergence hook) lets the survivors re-assemble
+	// the quorum live instead of depending on f+1 state-transfer
+	// vouchers that may not exist.
+	var revotes []commitMsg
+	for seq := r.execSeq; seq < r.nextSeq; seq++ {
+		inst, ok := r.insts[seq]
+		if !ok || inst.executed || !inst.certSet {
+			continue
+		}
+		revotes = append(revotes, commitMsg{View: r.view, Seq: seq, Digest: inst.certDigest, Replica: r.id})
+		inst.commits[r.id] = true
+	}
+	view := r.view
 	r.mu.Unlock()
-	r.broadcast(msgStateReq, stateReqMsg{Have: have})
+	r.broadcast(msgStateReq, stateReqMsg{Have: have, View: view})
+	for _, c := range revotes {
+		r.broadcast(msgCommit, c)
+	}
 }
 
 func (r *Replica) onStateReq(from string, s stateReqMsg) {
 	r.mu.Lock()
-	rep := stateRepMsg{Replica: r.id}
+	rep := stateRepMsg{Replica: r.id, View: r.view}
+	// Alongside each served entry goes a fresh commit vote: this replica
+	// executed (or decided) the sequence, so re-attesting it is sound,
+	// and it lets a straggler whose own certificate plus peer re-votes
+	// fall one short of 2f+1 re-assemble the quorum live — the executor
+	// itself never appears in Sync's re-vote loop because the sequence is
+	// below its own execution point.
+	var revotes []commitMsg
 	for seq := s.Have; seq < r.execSeq; seq++ {
 		if e, ok := r.execLog[seq]; ok {
 			rep.Entries = append(rep.Entries, e)
+			revotes = append(revotes, commitMsg{View: r.view, Seq: seq, Digest: e.Digest, Replica: r.id})
+		}
+	}
+	// Decided-but-unexecuted instances (above a local execution gap) are
+	// just as vouchable as executed ones: a counted 2f+1 commit quorum is
+	// final. Serving them widens the voucher pool so a straggler can reach
+	// the f+1-sender threshold even when few peers retain a given range.
+	for seq, inst := range r.insts {
+		if seq >= s.Have && inst.decided && !inst.executed {
+			rep.Entries = append(rep.Entries, execEntry{Seq: seq, Digest: inst.digest, Batch: inst.batch})
+		}
+	}
+	// Every up-to-date replica offers its state image alongside whatever
+	// entries it retains. Offering eagerly — not just when the requester
+	// is below this replica's compaction floor — is what makes catch-up
+	// live: adoption needs f+1 byte-identical images and execution needs
+	// f+1 matching entry vouchers, so under mixed retention (one tip peer
+	// compacted to an image, another still holding entries) a straggler
+	// counting one vote in each mechanism would starve forever. Eager
+	// images guarantee that any f+1 peers at the same tip clear the image
+	// threshold regardless of what each has pruned. Only offered when no
+	// apply is in flight — the blob must correspond exactly to execSeq or
+	// its digest will never match a peer's.
+	if r.logApp != nil && r.applying == 0 && r.execSeq > s.Have {
+		if blob, err := r.logApp.Snapshot(); err == nil {
+			img := &stateImage{ExecSeq: r.execSeq, App: blob}
+			for k := range r.executedR {
+				img.Executed = append(img.Executed, k)
+			}
+			sort.Strings(img.Executed)
+			rep.Snap = img
 		}
 	}
 	r.mu.Unlock()
-	if len(rep.Entries) > 0 {
+	if len(rep.Entries) > 0 || rep.Snap != nil || rep.View > s.View {
 		r.send(from, msgStateRep, rep)
 	}
+	for _, c := range revotes {
+		r.send(from, msgCommit, c)
+	}
+}
+
+// imageKey is the canonical digest a state image is voted under.
+func imageKey(img *stateImage) string {
+	b, _ := json.Marshal(img)
+	sum := sha256.Sum256(b)
+	return fmt.Sprintf("%d|%x", img.ExecSeq, sum)
 }
 
 func (r *Replica) onStateRep(from string, s stateRepMsg) {
 	r.mu.Lock()
+	// View synchronization: adopt a newer view once f+1 distinct senders
+	// attest to being at or beyond it — at least one of them is honest,
+	// so the view-change protocol genuinely completed there. One claim is
+	// not enough: a single Byzantine peer could otherwise yank replicas
+	// into an arbitrary future view and stall the cluster.
+	if s.View > r.view {
+		if r.viewClaims == nil {
+			r.viewClaims = make(map[string]uint64)
+		}
+		r.viewClaims[from] = s.View
+		claims := make([]uint64, 0, len(r.viewClaims))
+		for _, v := range r.viewClaims {
+			if v > r.view {
+				claims = append(claims, v)
+			}
+		}
+		if len(claims) >= r.f+1 {
+			sort.Slice(claims, func(i, j int) bool { return claims[i] > claims[j] })
+			if v := claims[r.f]; v > r.view { // f+1 senders claim ≥ v
+				revive := r.enterViewLocked(v, r.nextSeq)
+				primary := r.primaryLocked(v)
+				r.mu.Unlock()
+				for _, req := range revive {
+					r.send(primary, msgRequest, req)
+				}
+				r.mu.Lock()
+			}
+		}
+	}
+	if s.Snap != nil {
+		r.recordImageLocked(from, s.Snap)
+	}
 	for _, e := range s.Entries {
 		if e.Seq < r.execSeq || digestOf(e.Batch) != e.Digest {
 			continue
@@ -1155,4 +1428,96 @@ func (r *Replica) onStateRep(from string, s stateRepMsg) {
 	// Catch-up may have unblocked normally-committed successors.
 	r.maybeExecuteLocked()
 	r.mu.Unlock()
+}
+
+// recordImageLocked counts one sender behind a state image and adopts
+// the image once f+1 distinct senders offer byte-identical state — the
+// checkpoint-transfer path for a replica so far behind that no peer
+// retains the executed batches it needs.
+func (r *Replica) recordImageLocked(from string, img *stateImage) {
+	if img.ExecSeq <= r.execSeq || r.logApp == nil || r.applying != 0 {
+		return
+	}
+	for k, v := range r.imgVotes {
+		if v.img.ExecSeq <= r.execSeq {
+			delete(r.imgVotes, k) // overtaken by normal execution
+		}
+	}
+	key := imageKey(img)
+	v := r.imgVotes[key]
+	if v == nil {
+		v = &imgVote{img: *img, senders: make(map[string]bool)}
+		if r.imgVotes == nil {
+			r.imgVotes = make(map[string]*imgVote)
+		}
+		r.imgVotes[key] = v
+	}
+	v.senders[from] = true
+	if len(v.senders) < r.f+1 {
+		return
+	}
+	r.adoptImageLocked(&v.img)
+}
+
+// adoptImageLocked jumps this replica to a peer-certified state image:
+// application state is restored wholesale, the dedup set replaced (the
+// image's set corresponds exactly to its state), and everything below
+// the new execution point discarded. The image is journaled as this
+// replica's own snapshot so the jump survives a further crash.
+func (r *Replica) adoptImageLocked(img *stateImage) {
+	if img.ExecSeq <= r.execSeq {
+		return
+	}
+	if err := r.logApp.Restore(img.App); err != nil {
+		return // refuse the image; entry-based transfer may still work
+	}
+	r.execSeq = img.ExecSeq
+	r.execFloor = img.ExecSeq
+	if r.nextSeq < img.ExecSeq {
+		r.nextSeq = img.ExecSeq
+	}
+	if r.stable < img.ExecSeq {
+		r.stable = img.ExecSeq
+	}
+	r.executedR = make(map[string]bool, len(img.Executed))
+	for _, k := range img.Executed {
+		r.executedR[k] = true
+	}
+	r.execLog = make(map[uint64]execEntry)
+	for seq := range r.insts {
+		if seq < r.execSeq {
+			delete(r.insts, seq)
+		}
+	}
+	for seq := range r.stateVotes {
+		if seq < r.execSeq {
+			delete(r.stateVotes, seq)
+		}
+	}
+	for d, vt := range r.vcTimers {
+		if r.executedR[reqKey(vt.req)] {
+			vt.tmr.Stop()
+			delete(r.vcTimers, d)
+		}
+	}
+	r.imgVotes = nil
+	if r.log != nil && !r.walFailed {
+		snap := pbSnapshot{
+			Format:   pbSnapFormat,
+			View:     r.view,
+			ExecSeq:  img.ExecSeq,
+			Stable:   r.stable,
+			Executed: img.Executed,
+			App:      img.App,
+		}
+		b, err := json.Marshal(snap)
+		if err != nil {
+			panic(fmt.Sprintf("pbft: marshal adopted snapshot: %v", err))
+		}
+		if err := r.log.Snapshot(b); err != nil {
+			r.walFailed = true
+		} else {
+			r.lastSnap = img.ExecSeq
+		}
+	}
 }

@@ -1,0 +1,49 @@
+package token
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// spentSnapshot is the durable image of a spent-serial set. Double-spend
+// protection is only as strong as this set's durability: a platform that
+// forgets spent serials across a crash would accept every token a second
+// time.
+type spentSnapshot struct {
+	Format  string   `json:"format"`
+	Serials []string `json:"serials,omitempty"`
+}
+
+const spentSnapFormat = "prever/token/spent/v1"
+
+// Snapshot encodes the spent-serial set (wal.Snapshotter).
+func (m *MemorySpentStore) Snapshot() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	serials := make([]string, 0, len(m.spent))
+	for s := range m.spent {
+		serials = append(serials, s)
+	}
+	sort.Strings(serials)
+	return json.Marshal(spentSnapshot{Format: spentSnapFormat, Serials: serials})
+}
+
+// Restore replaces the spent-serial set with a snapshot's.
+func (m *MemorySpentStore) Restore(data []byte) error {
+	var snap spentSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("token: decoding spent snapshot: %w", err)
+	}
+	if snap.Format != spentSnapFormat {
+		return fmt.Errorf("token: unknown spent snapshot format %q", snap.Format)
+	}
+	spent := make(map[string]bool, len(snap.Serials))
+	for _, s := range snap.Serials {
+		spent[s] = true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.spent = spent
+	return nil
+}
