@@ -12,7 +12,9 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project-specific analyzers (internal/lint): lockheld,
-# cryptorand, consttime, deferloop, errignored. See DESIGN.md.
+# cryptorand, consttime, deferloop, errignored, walorder, lockorder,
+# timerleak, atomicmix, chanclose. See DESIGN.md §5 for the
+# analyzer -> invariant table.
 lint:
 	$(GO) run ./cmd/prever-lint ./...
 
@@ -101,7 +103,10 @@ bench:
 
 # bench-json records a machine-readable snapshot of the experiment suite
 # as BENCH_<date>.json — the committed series tracks throughput across
-# PRs (first snapshot: the mempool/batched-consensus PR).
+# PRs (first snapshot: the mempool/batched-consensus PR). A second run on
+# the same day suffixes .2, .3, ... instead of clobbering the earlier
+# snapshot.
 bench-json:
-	$(GO) run ./cmd/prever-bench -json > BENCH_$$(date +%Y-%m-%d).json
-	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
+	@out=BENCH_$$(date +%Y-%m-%d).json; n=2; \
+	while [ -e "$$out" ]; do out=BENCH_$$(date +%Y-%m-%d).$$n.json; n=$$((n+1)); done; \
+	$(GO) run ./cmd/prever-bench -json > "$$out" && echo "wrote $$out"

@@ -13,6 +13,7 @@ import (
 
 	"prever/internal/chain"
 	"prever/internal/conf"
+	"prever/internal/leaktest"
 	"prever/internal/netsim"
 )
 
@@ -20,6 +21,9 @@ import (
 // returns a client for it. Collections configure private data access.
 func newTestServer(t *testing.T, collections map[string][]string) (*Client, *chain.Sharded) {
 	t.Helper()
+	// Registered before the Close cleanups so (LIFO) it verifies after
+	// every component has shut down.
+	t.Cleanup(leaktest.Check(t))
 	net := netsim.New(netsim.Config{})
 	t.Cleanup(net.Close)
 	s, err := chain.NewShard(net, chain.ShardConfig{

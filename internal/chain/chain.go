@@ -415,6 +415,17 @@ func NewShard(net *netsim.Network, cfg ShardConfig) (*Shard, error) {
 		}
 		s.replicas = append(s.replicas, replica)
 	}
+	if cfg.DataDir != "" {
+		// Recovered replicas replayed their WALs to wherever each one's
+		// fsync happened to land at kill time, so their execution points
+		// can differ by a few sequences. Sync state-transfers the delta
+		// and re-votes certified-but-unexecuted instances; without it a
+		// lagging replica converges only if fresh traffic happens to
+		// trigger the transfer path.
+		for _, r := range s.replicas {
+			r.Sync()
+		}
+	}
 	// The client name and tx IDs carry the boot nonce: a restarted process
 	// reuses the same client identity namespace otherwise, and its
 	// restarted sequence counter / tx counter would collide with the

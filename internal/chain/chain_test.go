@@ -6,12 +6,17 @@ import (
 	"testing"
 	"time"
 
+	"prever/internal/leaktest"
 	"prever/internal/netsim"
 	"prever/internal/store"
 )
 
 func newShard(t testing.TB, name string, collections map[string][]string) (*netsim.Network, *Shard) {
 	t.Helper()
+	// Registered before the Close cleanups so (LIFO) it verifies after
+	// the shard and network have shut down. Close is idempotent, so
+	// tests that close explicitly are fine.
+	t.Cleanup(leaktest.Check(t))
 	net := netsim.New(netsim.Config{})
 	t.Cleanup(net.Close)
 	s, err := NewShard(net, ShardConfig{
@@ -23,6 +28,7 @@ func newShard(t testing.TB, name string, collections map[string][]string) (*nets
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = s.Close() })
 	return net, s
 }
 
@@ -199,6 +205,7 @@ func TestPrivateValueWithWrongHashRejected(t *testing.T) {
 
 func newSharded(t *testing.T, nShards int) *Sharded {
 	t.Helper()
+	t.Cleanup(leaktest.Check(t))
 	net := netsim.New(netsim.Config{})
 	t.Cleanup(net.Close)
 	var shards []*Shard
@@ -213,6 +220,7 @@ func newSharded(t *testing.T, nShards int) *Sharded {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = c.Close() })
 	return c
 }
 

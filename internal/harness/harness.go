@@ -55,8 +55,9 @@ type Proc struct {
 }
 
 // startTimeout bounds how long a process may take to print its
-// listening line.
-const startTimeout = 30 * time.Second
+// listening line. A variable so tests can exercise the deadline path
+// without waiting out the production value.
+var startTimeout = 30 * time.Second
 
 // Start execs the server binary with -addr 127.0.0.1:0 plus extraArgs
 // and blocks until the process prints its "listening on" contract line,
@@ -92,6 +93,8 @@ func Start(bin string, extraArgs ...string) (*Proc, error) {
 		errCh <- fmt.Errorf("harness: server exited before printing its address (scan err: %v)", sc.Err())
 	}()
 
+	startTmr := time.NewTimer(startTimeout)
+	defer startTmr.Stop()
 	select {
 	case addr := <-addrCh:
 		p.Addr = addr
@@ -99,7 +102,7 @@ func Start(bin string, extraArgs ...string) (*Proc, error) {
 	case err := <-errCh:
 		_ = p.Stop()
 		return nil, err
-	case <-time.After(startTimeout):
+	case <-startTmr.C:
 		_ = p.Stop()
 		return nil, fmt.Errorf("harness: server did not print its address within %s", startTimeout)
 	}
@@ -113,10 +116,12 @@ func (p *Proc) Client() *api.Client { return api.NewClient(p.Addr) }
 func (p *Proc) Stop() error {
 	p.stopOnce.Do(func() {
 		_ = p.cmd.Process.Signal(syscall.SIGTERM)
+		killTmr := time.NewTimer(10 * time.Second)
+		defer killTmr.Stop()
 		select {
 		case err := <-p.waitCh:
 			p.stopErr = err
-		case <-time.After(10 * time.Second):
+		case <-killTmr.C:
 			_ = p.cmd.Process.Kill()
 			p.stopErr = fmt.Errorf("harness: server ignored SIGTERM, killed")
 			<-p.waitCh

@@ -3,11 +3,15 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"prever/internal/api"
 	"prever/internal/chain"
+	"prever/internal/leaktest"
 )
 
 // TestMultiProcessCluster is the deployable-artifact test: build the
@@ -20,6 +24,9 @@ func TestMultiProcessCluster(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process harness is not -short")
 	}
+	// The processes are external, but each Proc owns in-process goroutines
+	// (stdout scanner, cmd.Wait); Stop must reap them all.
+	t.Cleanup(leaktest.Check(t))
 	bin, err := BuildServer(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -130,6 +137,7 @@ func TestKillRecoverFromDisk(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process harness is not -short")
 	}
+	t.Cleanup(leaktest.Check(t))
 	bin, err := BuildServer(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -215,6 +223,7 @@ func TestRemoteConfUpdate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process harness is not -short")
 	}
+	t.Cleanup(leaktest.Check(t))
 	bin, err := BuildServer(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -253,3 +262,22 @@ func TestRemoteConfUpdate(t *testing.T) {
 
 func intp(n int) *int       { return &n }
 func strp(s string) *string { return &s }
+
+// TestStartTimesOutOnSilentServer: a process that never prints its
+// "listening on" line must trip Start's deadline (a stoppable timer
+// since the timerleak fix) and be reaped, not hang the harness.
+func TestStartTimesOutOnSilentServer(t *testing.T) {
+	t.Cleanup(leaktest.Check(t))
+	script := filepath.Join(t.TempDir(), "silent.sh")
+	// exec so the sleep replaces the shell: Stop's SIGTERM must reach the
+	// process holding the stdout pipe, or reaping blocks on pipe EOF.
+	if err := os.WriteFile(script, []byte("#!/bin/sh\nexec sleep 60\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old := startTimeout
+	startTimeout = 300 * time.Millisecond
+	defer func() { startTimeout = old }()
+	if _, err := Start(script); err == nil || !strings.Contains(err.Error(), "did not print its address") {
+		t.Fatalf("Start(silent server) = %v, want start-timeout error", err)
+	}
+}

@@ -1,0 +1,85 @@
+package leaktest
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder captures Errorf calls so the detector can be tested without
+// failing the real test.
+type recorder struct {
+	testing.TB
+	mu   sync.Mutex
+	errs []string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.errs = append(r.errs, fmt.Sprintf(format, args...))
+}
+
+func TestCleanTestPasses(t *testing.T) {
+	rec := &recorder{}
+	check := Check(rec)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	check()
+	if len(rec.errs) != 0 {
+		t.Errorf("clean body reported leaks: %v", rec.errs)
+	}
+}
+
+func TestLeakIsReported(t *testing.T) {
+	rec := &recorder{}
+	check := Check(rec)
+	release := make(chan struct{})
+	go func() { <-release }() // outlives the checked region
+	check()
+	close(release)
+	if len(rec.errs) != 1 {
+		t.Fatalf("got %d errors, want 1: %v", len(rec.errs), rec.errs)
+	}
+	if !strings.Contains(rec.errs[0], "TestLeakIsReported") {
+		t.Errorf("leak report does not name the leaking function:\n%s", rec.errs[0])
+	}
+}
+
+func TestStragglersGetGrace(t *testing.T) {
+	rec := &recorder{}
+	check := Check(rec)
+	go func() { time.Sleep(300 * time.Millisecond) }()
+	check() // polls past the straggler's exit
+	if len(rec.errs) != 0 {
+		t.Errorf("straggler within grace reported as leak: %v", rec.errs)
+	}
+}
+
+func TestPreexistingGoroutinesAreExcused(t *testing.T) {
+	release := make(chan struct{})
+	go func() { <-release }()
+	defer close(release)
+	rec := &recorder{}
+	Check(rec)() // the goroutine above is in the snapshot
+	if len(rec.errs) != 0 {
+		t.Errorf("pre-existing goroutine reported as leak: %v", rec.errs)
+	}
+}
+
+func TestQuiesce(t *testing.T) {
+	if err := Quiesce(1 << 20); err != nil {
+		t.Errorf("huge budget should always quiesce: %v", err)
+	}
+	release := make(chan struct{})
+	go func() { <-release }()
+	defer close(release)
+	if err := Quiesce(0); err == nil {
+		t.Error("zero budget with a live goroutine should not quiesce")
+	}
+}

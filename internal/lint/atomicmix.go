@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix reports struct fields that are accessed through sync/atomic
+// in one place and plainly in another. A field like
+//
+//	atomic.AddInt64(&s.count, 1)   // writer
+//	if s.count > limit { ... }     // reader — torn/racy, vet-invisible
+//
+// has no memory-ordering story: the plain read can see a stale or (on
+// 32-bit) torn value, and the race detector only catches it when both
+// sides run in the sampled schedule. Every access must go through
+// sync/atomic — or better, the field migrates to a typed atomic
+// (atomic.Int64 & friends), which makes plain access unrepresentable and
+// is the idiom used across this codebase (core/stats, netsim counters).
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "struct field accessed both through sync/atomic and plainly",
+	Run: func(p *Package) []Finding {
+		// Pass 1: fields that are targets of sync/atomic calls, and the
+		// exact selector nodes inside those calls (excused from pass 2).
+		atomicAt := map[*types.Var]token.Pos{}
+		inAtomicCall := map[*ast.SelectorExpr]bool{}
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() != nil {
+					// Typed-atomic methods (atomic.Int64.Add) are the
+					// safe idiom: the field's type forbids plain access.
+					return true
+				}
+				for _, arg := range call.Args {
+					ue, ok := unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					sel, ok := unparen(ue.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if v := fieldVar(p, sel); v != nil {
+						if _, seen := atomicAt[v]; !seen {
+							atomicAt[v] = sel.Pos()
+						}
+						inAtomicCall[sel] = true
+					}
+				}
+				return true
+			})
+		}
+		if len(atomicAt) == 0 {
+			return nil
+		}
+		// Pass 2: every other selector reaching one of those fields is a
+		// plain access.
+		var out []Finding
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || inAtomicCall[sel] {
+					return true
+				}
+				v := fieldVar(p, sel)
+				if v == nil {
+					return true
+				}
+				pos, isAtomic := atomicAt[v]
+				if !isAtomic || sel.Pos() == pos {
+					return true
+				}
+				// Keep the earliest atomic site out of its own report.
+				out = append(out, p.finding(sel.Pos(), "atomicmix",
+					"field %s is accessed with sync/atomic at line %d but plainly here; every access must be atomic — or migrate the field to a typed atomic (atomic.Int64 etc.)",
+					v.Name(), p.Fset.Position(pos).Line))
+				return true
+			})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Pos.Offset < out[j].Pos.Offset })
+		return out
+	},
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// ChanClose guards the async result-channel plumbing against the two
+// channel panics Go hands out at runtime: double close and send on a
+// closed channel. It tracks channels held in struct fields (the ones
+// whose close responsibility spans goroutines — waiter done-channels,
+// node inboxes, stop channels) and reports
+//
+//  1. a field closed at more than one site in the package: unless every
+//     path proves mutual exclusion, two of them racing is a double-close
+//     panic. Consolidate to a single close point (one owner function) or
+//     a sync.Once.
+//  2. a send on a field that some *other* function closes: the send can
+//     race the close and panic — exactly the netsim send/close race PR 1
+//     fixed. Sends sequenced before a close in the same function (the
+//     producer-closes idiom) are fine and stay silent.
+//
+// Channels in local variables are skipped: their lifecycle is visible to
+// one function and the ownership question this analyzer asks does not
+// arise.
+var ChanClose = &Analyzer{
+	Name: "chanclose",
+	Doc:  "close or send on a channel field another goroutine may close (double-close / send-on-closed panic)",
+	Run: func(p *Package) []Finding {
+		type site struct {
+			pos token.Pos
+			fn  *ast.FuncDecl // enclosing declaration (nil never happens: file-scope has no stmts)
+		}
+		closes := map[*types.Var][]site{}
+		sends := map[*types.Var][]site{}
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && p.Info.Uses[id] == types.Universe.Lookup("close") && len(n.Args) == 1 {
+							if v := chanField(p, n.Args[0]); v != nil {
+								closes[v] = append(closes[v], site{pos: n.Pos(), fn: fd})
+							}
+						}
+					case *ast.SendStmt:
+						if v := chanField(p, n.Chan); v != nil {
+							sends[v] = append(sends[v], site{pos: n.Arrow, fn: fd})
+						}
+					}
+					return true
+				})
+			}
+		}
+		var out []Finding
+		for v, cs := range closes {
+			if len(cs) < 2 {
+				continue
+			}
+			for i, c := range cs {
+				other := cs[(i+1)%len(cs)]
+				out = append(out, p.finding(c.pos, "chanclose",
+					"channel field %s is closed at %d sites (another at %s:%d); racing closers panic — consolidate to one close point or guard with sync.Once",
+					v.Name(), len(cs), filepath.Base(p.Fset.Position(other.pos).Filename), p.Fset.Position(other.pos).Line))
+			}
+		}
+		for v, ss := range sends {
+			cs := closes[v]
+			if len(cs) == 0 {
+				continue
+			}
+			for _, s := range ss {
+				sameFn := false
+				for _, c := range cs {
+					if c.fn == s.fn {
+						sameFn = true
+						break
+					}
+				}
+				if sameFn {
+					continue
+				}
+				out = append(out, p.finding(s.pos, "chanclose",
+					"send on channel field %s which %s:%d may close concurrently; a send racing the close panics — share the closer's mutex/once discipline",
+					v.Name(), filepath.Base(p.Fset.Position(cs[0].pos).Filename), p.Fset.Position(cs[0].pos).Line))
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Pos.Offset < out[j].Pos.Offset })
+		return out
+	},
+}
+
+// chanField resolves e to a channel-typed struct field, or nil.
+func chanField(p *Package, e ast.Expr) *types.Var {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v := fieldVar(p, sel)
+	if v == nil {
+		return nil
+	}
+	if _, ok := v.Type().Underlying().(*types.Chan); !ok {
+		return nil
+	}
+	return v
+}

@@ -22,6 +22,18 @@ func (ix ignoreIndex) add(file string, line int, analyzer string) {
 	ix[file][line][analyzer] = true
 }
 
+// merge folds another index into this one (filenames are unique across
+// packages, so per-package indexes combine losslessly).
+func (ix ignoreIndex) merge(o ignoreIndex) {
+	for file, lines := range o {
+		for line, names := range lines {
+			for name := range names {
+				ix.add(file, line, name)
+			}
+		}
+	}
+}
+
 func (ix ignoreIndex) suppresses(f Finding) bool {
 	lines := ix[f.Pos.Filename]
 	if lines == nil {

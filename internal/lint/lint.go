@@ -57,16 +57,23 @@ func (p *Package) finding(pos token.Pos, analyzer, format string, args ...any) F
 	}
 }
 
-// Analyzer inspects one package and reports findings.
+// Analyzer inspects code and reports findings. Most analyzers are
+// per-package (Run); an analyzer whose invariant spans packages — the
+// lock-acquisition graph — sees the whole loaded program at once
+// (RunProgram). Exactly one of the two is set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Finding
+	Name       string
+	Doc        string
+	Run        func(p *Package) []Finding
+	RunProgram func(pkgs []*Package) []Finding
 }
 
 // All returns the full analyzer registry.
 func All() []*Analyzer {
-	return []*Analyzer{ConstTime, CryptoRand, DeferLoop, ErrIgnored, LockHeld}
+	return []*Analyzer{
+		AtomicMix, ChanClose, ConstTime, CryptoRand, DeferLoop,
+		ErrIgnored, LockHeld, LockOrder, TimerLeak, WalOrder,
+	}
 }
 
 // cryptoPackages hold secret material: keys, nonces, openings, shares.
@@ -93,27 +100,46 @@ var concurrencyPackages = map[string]bool{
 	"prever/internal/pbft":   true,
 }
 
-// Run applies the analyzers to every package, drops findings suppressed by
+// durabilityPackages journal state transitions to the WAL before they
+// speak on the network (DESIGN §4e durable-before-send). WalOrder scopes
+// to them.
+var durabilityPackages = map[string]bool{
+	"prever/internal/paxos": true,
+	"prever/internal/pbft":  true,
+}
+
+// Run applies the analyzers to every package (and the program-level
+// analyzers to the package set as a whole), drops findings suppressed by
 // //lint:ignore directives, and returns the rest sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	var out []Finding
+	var fs, bad []Finding
+	ignores := make(ignoreIndex)
 	for _, p := range pkgs {
-		var fs []Finding
 		for _, a := range analyzers {
-			fs = append(fs, a.Run(p)...)
-		}
-		ignores, bad := collectIgnores(p, known)
-		for _, f := range fs {
-			if !ignores.suppresses(f) {
-				out = append(out, f)
+			if a.Run != nil {
+				fs = append(fs, a.Run(p)...)
 			}
 		}
-		out = append(out, bad...)
+		pIgnores, pBad := collectIgnores(p, known)
+		ignores.merge(pIgnores)
+		bad = append(bad, pBad...)
 	}
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			fs = append(fs, a.RunProgram(pkgs)...)
+		}
+	}
+	var out []Finding
+	for _, f := range fs {
+		if !ignores.suppresses(f) {
+			out = append(out, f)
+		}
+	}
+	out = append(out, bad...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {

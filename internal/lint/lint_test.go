@@ -203,3 +203,49 @@ func TestFindingString(t *testing.T) {
 		t.Errorf("Finding.String() = %q, want suffix %q", s, wantSuffix)
 	}
 }
+
+func TestWalOrder(t *testing.T) {
+	checkFixture(t, "walorder", "walorder", "prever/internal/paxos")
+}
+
+func TestWalOrderOutOfScope(t *testing.T) {
+	checkOutOfScope(t, "walorder", "walorder")
+}
+
+func TestLockOrder(t *testing.T) {
+	// lockorder is not scoped: any import path triggers it.
+	checkFixture(t, "lockorder", "lockorder", "prever/internal/lint/testdata/lockorder")
+}
+
+func TestTimerLeak(t *testing.T) {
+	checkFixture(t, "timerleak", "timerleak", "prever/internal/lint/testdata/timerleak")
+}
+
+func TestAtomicMix(t *testing.T) {
+	checkFixture(t, "atomicmix", "atomicmix", "prever/internal/lint/testdata/atomicmix")
+}
+
+func TestChanClose(t *testing.T) {
+	checkFixture(t, "chanclose", "chanclose", "prever/internal/lint/testdata/chanclose")
+}
+
+// TestMultiIgnore: one line flagged by two analyzers at once, suppressed
+// by a single comma-list directive. The unreviewed twin keeps both
+// findings, pinned by analyzer and line.
+func TestMultiIgnore(t *testing.T) {
+	// Loaded as netsim so the scoped lockheld analyzer participates.
+	p, err := loader(t).LoadDirAs(filepath.Join("testdata", "multiignore"), "prever/internal/netsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{p}, []*Analyzer{analyzerByName(t, "lockheld"), analyzerByName(t, "chanclose")})
+	var got []string
+	for _, f := range findings {
+		got = append(got, fmt.Sprintf("%s:%d", f.Analyzer, f.Pos.Line))
+	}
+	sort.Strings(got)
+	want := []string{"chanclose:19", "lockheld:19"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("multiignore findings = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,569 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a program-wide mutex-acquisition graph and reports
+// cycles — the static form of the deadlock the race detector only finds
+// when the schedule cooperates. Nodes are lock *classes* (the declared
+// home of the mutex: "paxos.Replica.mu", "mempool.Pool.mu", a
+// package-level "netsim.mu"), because every instance of a struct field is
+// the same rung of the hierarchy. An edge A→B is recorded when any
+// function acquires B while holding A, either directly or by calling —
+// with A held — a helper whose transitive summary acquires B. Two
+// functions that take {A,B} in opposite orders therefore close a cycle
+// and both acquisition sites are reported; so is acquiring a second
+// instance of one class with no global order (the classic two-account
+// transfer deadlock).
+//
+// The walk is path-sensitive with lockScan's branch semantics (clone per
+// branch, union on merge, terminated branches dropped, defer Unlock holds
+// to frame end), and the call graph follows only direct calls to
+// functions with bodies in the loaded program — function literals run on
+// their own frames and are walked separately, so goroutine and timer
+// callbacks never inherit the spawner's held set.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "mutex classes acquired in conflicting orders across the program (deadlock cycle)",
+	RunProgram: runLockOrder,
+}
+
+// lockAt is one held lock: its class and the acquisition position.
+type lockAt struct {
+	class string
+	pos   token.Pos
+}
+
+// lockHeld maps the printed mutex expression ("r.mu") to its acquisition.
+// Expression keys (not class keys) make unlocks precise when two
+// instances of one class are held.
+type lockHeld map[string]lockAt
+
+func (h lockHeld) clone() lockHeld {
+	c := make(lockHeld, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (h lockHeld) union(o lockHeld) {
+	for k, v := range o {
+		if _, ok := h[k]; !ok {
+			h[k] = v
+		}
+	}
+}
+
+func (h lockHeld) replace(src lockHeld) {
+	for k := range h {
+		delete(h, k)
+	}
+	for k, v := range src {
+		h[k] = v
+	}
+}
+
+// lockEdge records the earliest-seen acquisition site for a from→to pair.
+type lockEdge struct {
+	pos   token.Position
+	under token.Position // where the from-lock was taken
+}
+
+type lockGraph struct {
+	edges map[string]map[string]lockEdge
+}
+
+func (g *lockGraph) add(from, to string, pos, under token.Position) {
+	if g.edges[from] == nil {
+		g.edges[from] = make(map[string]lockEdge)
+	}
+	e := lockEdge{pos: pos, under: under}
+	if cur, ok := g.edges[from][to]; !ok || posLess(e, cur) {
+		g.edges[from][to] = e
+	}
+}
+
+// posLess orders edges by position so the recorded example site is
+// deterministic regardless of map iteration order during the walk.
+func posLess(a, b lockEdge) bool {
+	if a.pos.Filename != b.pos.Filename {
+		return a.pos.Filename < b.pos.Filename
+	}
+	if a.pos.Line != b.pos.Line {
+		return a.pos.Line < b.pos.Line
+	}
+	if a.under.Filename != b.under.Filename {
+		return a.under.Filename < b.under.Filename
+	}
+	return a.under.Line < b.under.Line
+}
+
+func runLockOrder(pkgs []*Package) []Finding {
+	type fnode struct {
+		p       *Package
+		fn      *types.Func
+		body    *ast.BlockStmt
+		callees []*types.Func
+	}
+	var nodes []fnode
+	direct := map[*types.Func]map[string]bool{}
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := fnode{p: p, fn: fn, body: fd.Body}
+				// A Lock lexically preceded by an Unlock of the same class
+				// in the same frame is the unlock-relock handoff (release
+				// the caller's lock around a blocking call, retake it):
+				// the caller is not holding the class at that acquisition,
+				// so it stays out of the summary.
+				released := map[string]bool{}
+				inspectSameFrame(fd.Body, func(call *ast.CallExpr) {
+					if cls, method := mutexOp(p, call); cls != "" {
+						switch method {
+						case "Lock", "RLock":
+							if !released[cls] {
+								if direct[fn] == nil {
+									direct[fn] = map[string]bool{}
+								}
+								direct[fn][cls] = true
+							}
+						case "Unlock", "RUnlock":
+							released[cls] = true
+						}
+						return
+					}
+					if callee := calleeFunc(p, call); callee != nil {
+						n.callees = append(n.callees, callee)
+					}
+				})
+				nodes = append(nodes, n)
+			}
+		}
+	}
+
+	// Transitive acquisition summaries, to a fixed point.
+	trans := map[*types.Func]map[string]bool{}
+	for fn, cls := range direct {
+		trans[fn] = map[string]bool{}
+		for c := range cls {
+			trans[fn][c] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			for _, callee := range n.callees {
+				for c := range trans[callee] {
+					if trans[n.fn] == nil {
+						trans[n.fn] = map[string]bool{}
+					}
+					if !trans[n.fn][c] {
+						trans[n.fn][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edge extraction: path-sensitive walk of every function frame.
+	g := &lockGraph{edges: map[string]map[string]lockEdge{}}
+	for _, n := range nodes {
+		w := &lockWalk{p: n.p, trans: trans, g: g}
+		w.stmts(n.body.List, make(lockHeld))
+		ast.Inspect(n.body, func(x ast.Node) bool {
+			if fl, ok := x.(*ast.FuncLit); ok {
+				w.stmts(fl.Body.List, make(lockHeld))
+			}
+			return true
+		})
+	}
+
+	// Cycle detection: strongly connected components over the class graph.
+	comp := sccOf(g)
+	var out []Finding
+	for from, tos := range g.edges {
+		for to, e := range tos {
+			if from != to && (comp[from] != comp[to]) {
+				continue
+			}
+			var msg string
+			if from == to {
+				msg = fmt.Sprintf(
+					"acquiring %s while an instance of it is already held (locked at line %d); same-class locks need a global acquisition order or this deadlocks",
+					to, e.under.Line)
+			} else if rev, ok := g.edges[to][from]; ok {
+				msg = fmt.Sprintf(
+					"acquiring %s while holding %s (locked at line %d) conflicts with the reverse order at %s:%d; lock-order cycle can deadlock",
+					to, from, e.under.Line, filepath.Base(rev.pos.Filename), rev.pos.Line)
+			} else {
+				msg = fmt.Sprintf(
+					"acquiring %s while holding %s (locked at line %d) closes a lock-order cycle through {%s}; fix the hierarchy",
+					to, from, e.under.Line, strings.Join(compMembers(comp, comp[from]), ", "))
+			}
+			out = append(out, Finding{Pos: e.pos, Analyzer: "lockorder", Message: msg})
+		}
+	}
+	return out
+}
+
+// mutexOp recognizes m.Lock/RLock/Unlock/RUnlock calls resolved to the
+// sync package (so a project type's own Lock method does not count) and
+// returns the lock class of the receiver expression, or "" otherwise.
+func mutexOp(p *Package, call *ast.CallExpr) (class, method string) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return lockClass(p, sel.X), sel.Sel.Name
+}
+
+// lockClass names the declared home of a mutex: "pkg.Type.field" for a
+// struct field, "pkg.var" for a package-level var, "pkg.Type.(embedded)"
+// for a mutex embedded in Type. Function-local mutexes return "" — they
+// cannot participate in cross-function cycles.
+func lockClass(p *Package, e ast.Expr) string {
+	e = unparen(e)
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	if n := namedOf(t); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() != "sync" {
+		// Embedded mutex: e is the enclosing struct.
+		return n.Obj().Pkg().Name() + "." + n.Obj().Name() + ".(embedded)"
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if n := namedOf(p.Info.TypeOf(e.X)); n != nil && n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Name() + "." + n.Obj().Name() + "." + e.Sel.Name
+		}
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil && obj.Pkg() != nil &&
+			obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + e.Name
+		}
+	}
+	return ""
+}
+
+// lockWalk mirrors lockScan's statement semantics but records
+// acquisition-order edges instead of blocking operations.
+type lockWalk struct {
+	p     *Package
+	trans map[*types.Func]map[string]bool
+	g     *lockGraph
+}
+
+// acquire records edges from every held lock to cls and marks it held.
+func (w *lockWalk) acquire(expr, cls string, pos token.Pos, held lockHeld) {
+	p := w.p.Fset.Position(pos)
+	for hexpr, h := range held {
+		if hexpr == expr {
+			continue // re-lock of the same expression: same edge as below
+		}
+		w.g.add(h.class, cls, p, w.p.Fset.Position(h.pos))
+	}
+	if h, ok := held[expr]; ok {
+		// Relocking the very expression already held: self-deadlock.
+		w.g.add(h.class, cls, p, w.p.Fset.Position(h.pos))
+	}
+	held[expr] = lockAt{class: cls, pos: pos}
+}
+
+// call records edges from every held lock to everything the callee's
+// transitive summary acquires.
+func (w *lockWalk) call(call *ast.CallExpr, held lockHeld) {
+	if len(held) == 0 {
+		return
+	}
+	callee := calleeFunc(w.p, call)
+	if callee == nil {
+		return
+	}
+	acq := w.trans[callee]
+	if len(acq) == 0 {
+		return
+	}
+	p := w.p.Fset.Position(call.Pos())
+	for _, h := range held {
+		for cls := range acq {
+			w.g.add(h.class, cls, p, w.p.Fset.Position(h.pos))
+		}
+	}
+}
+
+func (w *lockWalk) stmts(list []ast.Stmt, held lockHeld) (terminated bool) {
+	for _, st := range list {
+		if w.stmt(st, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalk) stmt(st ast.Stmt, held lockHeld) bool {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if cls, method := mutexOp(w.p, call); cls != "" || method != "" {
+				switch method {
+				case "Lock", "RLock":
+					if cls != "" {
+						w.acquire(types.ExprString(unparen(call.Fun).(*ast.SelectorExpr).X), cls, call.Pos(), held)
+					}
+				case "Unlock", "RUnlock":
+					delete(held, types.ExprString(unparen(call.Fun).(*ast.SelectorExpr).X))
+				}
+				return false
+			}
+			if isPanicExit(call) {
+				return true
+			}
+		}
+		w.checkExpr(st.X, held)
+	case *ast.SendStmt:
+		w.checkExpr(st.Chan, held)
+		w.checkExpr(st.Value, held)
+	case *ast.DeferStmt:
+		// defer m.Unlock() keeps the lock to frame end (correct for
+		// ordering: later acquisitions happen under it). Other deferred
+		// calls run at return with an unknowable held set; skipping them
+		// only drops edges, never invents them.
+		if _, method := mutexOp(w.p, st.Call); method == "Lock" || method == "RLock" {
+			if cls, _ := mutexOp(w.p, st.Call); cls != "" {
+				w.acquire(types.ExprString(unparen(st.Call.Fun).(*ast.SelectorExpr).X), cls, st.Call.Pos(), held)
+			}
+		}
+	case *ast.GoStmt:
+		// New frame; literal bodies are walked separately with no locks.
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.checkExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.checkExpr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return w.stmts(st.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held)
+		}
+		w.checkExpr(st.Cond, held)
+		thenHeld := held.clone()
+		thenTerm := w.stmts(st.Body.List, thenHeld)
+		if st.Else != nil {
+			elseHeld := held.clone()
+			elseTerm := w.stmt(st.Else, elseHeld)
+			switch {
+			case thenTerm && elseTerm:
+				return true
+			case thenTerm:
+				held.replace(elseHeld)
+			case elseTerm:
+				held.replace(thenHeld)
+			default:
+				held.replace(thenHeld)
+				held.union(elseHeld)
+			}
+		} else if !thenTerm {
+			held.union(thenHeld)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.checkExpr(st.Cond, held)
+		}
+		bodyHeld := held.clone()
+		w.stmts(st.Body.List, bodyHeld)
+		if st.Post != nil {
+			w.stmt(st.Post, bodyHeld)
+		}
+		held.union(bodyHeld)
+	case *ast.RangeStmt:
+		w.checkExpr(st.X, held)
+		bodyHeld := held.clone()
+		w.stmts(st.Body.List, bodyHeld)
+		held.union(bodyHeld)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			w.checkExpr(st.Tag, held)
+		}
+		w.cases(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.cases(st.Body, held)
+	case *ast.SelectStmt:
+		merged := held.clone()
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseHeld := held.clone()
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, caseHeld)
+			}
+			if !w.stmts(cc.Body, caseHeld) {
+				merged.union(caseHeld)
+			}
+		}
+		held.replace(merged)
+	}
+	return false
+}
+
+func (w *lockWalk) cases(body *ast.BlockStmt, held lockHeld) {
+	merged := held.clone()
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		caseHeld := held.clone()
+		if !w.stmts(cc.Body, caseHeld) {
+			merged.union(caseHeld)
+		}
+	}
+	held.replace(merged)
+}
+
+// checkExpr records call-summary edges for calls inside an expression.
+func (w *lockWalk) checkExpr(e ast.Expr, held lockHeld) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if cls, _ := mutexOp(w.p, n); cls == "" {
+				w.call(n, held)
+			}
+		}
+		return true
+	})
+}
+
+// sccOf assigns each node a strongly-connected-component id (iterative
+// Tarjan, deterministic over sorted node order).
+func sccOf(g *lockGraph) map[string]int {
+	nodes := map[string]bool{}
+	for from, tos := range g.edges {
+		nodes[from] = true
+		for to := range tos {
+			nodes[to] = true
+		}
+	}
+	order := make([]string, 0, len(nodes))
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, ncomp := 0, 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for to := range g.edges[v] {
+			succs = append(succs, to)
+		}
+		sort.Strings(succs)
+		for _, to := range succs {
+			if _, seen := index[to]; !seen {
+				strongconnect(to)
+				if low[to] < low[v] {
+					low[v] = low[to]
+				}
+			} else if onStack[to] && index[to] < low[v] {
+				low[v] = index[to]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				comp[top] = ncomp
+				if top == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comp
+}
+
+func compMembers(comp map[string]int, id int) []string {
+	var out []string
+	for n, c := range comp {
+		if c == id {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// unparen strips any number of surrounding parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeFunc resolves the function or method a call targets, or nil for
+// indirect calls (func values, conversions). Interface methods resolve to
+// the interface's *types.Func, which has no body in the loaded program —
+// callers treating "no body" as "unknown" stay conservative.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isStdCall reports whether the call targets the package-level function
+// pkgPath.name, resolved through the type info (a local variable
+// shadowing the package name does not trigger it, and neither does a
+// method that happens to share the name — time.Time.After is not
+// time.After).
+func isStdCall(p *Package, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldVar resolves a selector expression to the struct field it reads or
+// writes, or nil if it is not a field access.
+func fieldVar(p *Package, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		v, _ := s.Obj().(*types.Var)
+		return v
+	}
+	// Qualified references (pkg.Var) and method values land in Uses.
+	if v, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// namedOf unwraps pointers and returns the named type beneath, if any.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

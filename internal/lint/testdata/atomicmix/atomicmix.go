@@ -1,0 +1,48 @@
+// Package atomicmix is the analyzer fixture for atomicmix: struct
+// fields accessed through sync/atomic in one place and plainly in
+// another. Marked lines must be reported; everything else must stay
+// silent.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	drops  int64
+	typed  atomic.Int64
+}
+
+// bump is the atomic side of the mixed field.
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+}
+
+// report reads the same fields plainly: torn on 32-bit, racy anywhere.
+func (c *counters) report() (int64, int64) {
+	return c.hits, c.misses // want atomicmix
+}
+
+// reset writes plainly, same problem as the plain read.
+func (c *counters) reset() {
+	c.hits = 0 // want atomicmix
+}
+
+// allAtomic only ever touches drops through sync/atomic: silent.
+func (c *counters) allAtomic() int64 {
+	atomic.AddInt64(&c.drops, 1)
+	return atomic.LoadInt64(&c.drops)
+}
+
+// typedAtomic is the sanctioned idiom — plain access is unrepresentable.
+func (c *counters) typedAtomic() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// ignored: a reviewed single-goroutine init write stays silent.
+func (c *counters) ignored() {
+	//lint:ignore atomicmix constructor runs before any other goroutine sees c
+	c.misses = 0
+}

@@ -1,0 +1,54 @@
+// Package chanclose is the analyzer fixture for chanclose: double-close
+// and send-on-closed hazards on channel struct fields. Marked lines must
+// be reported; everything else must stay silent.
+package chanclose
+
+type worker struct {
+	done chan struct{}
+	out  chan int
+	feed chan int
+}
+
+// stop and crash both close done: two racing close sites.
+func (w *worker) stop() {
+	close(w.done) // want chanclose
+}
+
+func (w *worker) crash() {
+	close(w.done) // want chanclose
+}
+
+// emit sends on a field that finish (another function, possibly another
+// goroutine) closes.
+func (w *worker) emit(v int) {
+	w.out <- v // want chanclose
+}
+
+// finish is the single close site for out: the close itself is fine.
+func (w *worker) finish() {
+	close(w.out)
+}
+
+// produce is the producer-closes idiom: sends sequenced before the close
+// in the same function stay silent.
+func (w *worker) produce(vs []int) {
+	for _, v := range vs {
+		w.feed <- v
+	}
+	close(w.feed)
+}
+
+// local channels have a one-function lifecycle: out of scope.
+func local() int {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	return <-ch
+}
+
+// guardedSend is a reviewed send racing finish's close, made safe by
+// external discipline the analyzer cannot see: suppressed.
+func (w *worker) guardedSend(v int) {
+	//lint:ignore chanclose the worker's closed flag is checked under its mutex before this send
+	w.out <- v
+}

@@ -1,0 +1,8 @@
+// Package a imports b which imports a: the loader must diagnose the
+// cycle instead of recursing forever.
+package a
+
+import "prever/internal/lint/testdata/cycle/b"
+
+// FromB references b so the import is not unused.
+const FromB = b.Name + "/a"

@@ -1,0 +1,7 @@
+// Package b completes the import cycle with package a.
+package b
+
+import "prever/internal/lint/testdata/cycle/a"
+
+// Name references a so the import is not unused.
+const Name = a.FromB + "/b"

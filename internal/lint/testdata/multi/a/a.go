@@ -1,0 +1,20 @@
+// Package a is the dependency half of the multi-package loader fixture:
+// package b imports it by full module path, so loading b exercises
+// module-local import resolution and cross-package type information.
+package a
+
+import "sync"
+
+// Registry is referenced from package b; its mutex gives analyzers a
+// cross-package type to resolve.
+type Registry struct {
+	Mu    sync.Mutex
+	Items map[string]int
+}
+
+// Put records an item under the registry lock.
+func (r *Registry) Put(k string, v int) {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	r.Items[k] = v
+}

@@ -1,0 +1,13 @@
+// Package b imports package a by its full module path: the loader must
+// resolve the import recursively and expose a's types to analyzers
+// running over b.
+package b
+
+import "prever/internal/lint/testdata/multi/a"
+
+// Count reads a Registry defined in the sibling package.
+func Count(r *a.Registry) int {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	return len(r.Items)
+}

@@ -1,0 +1,34 @@
+// Package multiignore exercises one line flagged by two analyzers at
+// once: a channel send performed under a held mutex, on a field that
+// another function closes, trips both lockheld (blocking under a lock)
+// and chanclose (send racing a close). A single comma-list directive
+// must suppress both.
+package multiignore
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// emit trips lockheld and chanclose on the same line.
+func (b *box) emit(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v // both analyzers flag this line
+}
+
+// emitReviewed is the same shape with both findings suppressed by one
+// comma-list directive.
+func (b *box) emitReviewed(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:ignore lockheld,chanclose the buffered channel never fills and stop checks a closed flag under this mutex
+	b.ch <- v
+}
+
+// stop is the single close site for ch.
+func (b *box) stop() {
+	close(b.ch)
+}

@@ -1,0 +1,120 @@
+// Package timerleak is the analyzer fixture for timerleak: time.After
+// in loops and selects, and NewTimer/NewTicker without a Stop. Marked
+// lines must be reported; everything else must stay silent.
+package timerleak
+
+import "time"
+
+func consume(ch <-chan time.Time) { <-ch }
+
+// afterInLoop allocates a timer per iteration.
+func afterInLoop(work []int, d time.Duration) {
+	for range work {
+		consume(time.After(d)) // want timerleak
+	}
+}
+
+// afterInSelect leaks the timer when done wins.
+func afterInSelect(done <-chan struct{}, d time.Duration) bool {
+	select {
+	case <-done:
+		return true
+	case <-time.After(d): // want timerleak
+		return false
+	}
+}
+
+// afterAssignedInSelect: the assignment form of the receive leaks too.
+func afterAssignedInSelect(done <-chan struct{}, d time.Duration) time.Time {
+	select {
+	case <-done:
+		return time.Time{}
+	case t := <-time.After(d): // want timerleak
+		return t
+	}
+}
+
+// tickInLoop: time.Tick leaks its ticker by design.
+func tickInLoop(work []int) {
+	for range work {
+		consume(time.Tick(time.Second)) // want timerleak
+	}
+}
+
+// discardedTimer: nothing can ever stop it.
+func discardedTimer(d time.Duration) {
+	time.NewTimer(d) // want timerleak
+}
+
+// blankTimer: assigning to _ is the same discard.
+func blankTimer(d time.Duration) {
+	_ = time.NewTicker(d) // want timerleak
+}
+
+// unstoppedTicker is assigned but never stopped.
+func unstoppedTicker(done <-chan struct{}, d time.Duration) {
+	tk := time.NewTicker(d) // want timerleak
+	for {
+		select {
+		case <-done:
+			return
+		case <-tk.C:
+		}
+	}
+}
+
+// stoppedTimer is the correct shape: deferred Stop covers every exit.
+func stoppedTimer(done <-chan struct{}, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// stoppedInLiteral: a Stop inside a nested literal still counts.
+func stoppedInLiteral(d time.Duration) func() {
+	t := time.NewTimer(d)
+	return func() { t.Stop() }
+}
+
+// literalResetsLoopDepth: a literal declared inside a loop is its own
+// frame, so its one-shot time.After is fine.
+func literalResetsLoopDepth(work []int, d time.Duration) []func() {
+	var fns []func()
+	for range work {
+		fns = append(fns, func() { consume(time.After(d)) })
+	}
+	return fns
+}
+
+// afterFunc is exempt: a discarded AfterFunc frees itself by firing.
+func afterFunc(d time.Duration, f func()) {
+	time.AfterFunc(d, f)
+}
+
+// singleShotAfter outside any loop or select is the documented fine use.
+func singleShotAfter(d time.Duration) {
+	consume(time.After(d))
+}
+
+// fieldTimer: results stored in struct fields are cross-function
+// discipline, out of scope.
+type watchdog struct {
+	tmr *time.Timer
+}
+
+func (w *watchdog) arm(d time.Duration) {
+	w.tmr = time.NewTimer(d)
+}
+
+// ignored: a reviewed one-shot in a bounded retry loop stays silent.
+func ignored(attempts int, d time.Duration) {
+	for i := 0; i < attempts; i++ {
+		//lint:ignore timerleak bounded to 3 attempts at process start; leak is negligible
+		consume(time.After(d))
+	}
+}

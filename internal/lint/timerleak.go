@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TimerLeak reports the timer-allocation patterns that leak under a
+// long-running server. Three shapes:
+//
+//  1. time.After (or time.Tick) inside a for/range loop: every iteration
+//     parks a new runtime timer that is not collected until it fires —
+//     at a 10s timeout and a few thousand iterations per second that is
+//     tens of thousands of live timers.
+//  2. `case <-time.After(d):` as a select case: when another case wins,
+//     the timer still lives until d elapses. One-shot callers survive it;
+//     the hot paths (Submit, Wait) run it per request. The fix is
+//     time.NewTimer with a deferred Stop.
+//  3. time.NewTimer/time.NewTicker whose Stop is never called anywhere in
+//     the enclosing declaration (deferred Stops and Stops inside nested
+//     literals count): the ticker ticks forever, the timer lives to
+//     expiry. Results assigned to struct fields are skipped — their Stop
+//     discipline spans functions (pbft's watchdog timers) and is covered
+//     by tests, not this analyzer.
+//
+// time.AfterFunc is deliberately exempt: a discarded AfterFunc is the
+// idiomatic "run this later" (netsim's delayed delivery) and its timer
+// frees itself by firing.
+var TimerLeak = &Analyzer{
+	Name: "timerleak",
+	Doc:  "time.After in a loop or select, or a NewTimer/NewTicker that is never stopped",
+	Run: func(p *Package) []Finding {
+		var out []Finding
+		seen := map[*ast.CallExpr]bool{}
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkAfterInLoops(p, fd.Body, seen, &out)
+				checkAfterInSelects(p, fd.Body, seen, &out)
+				checkUnstoppedTimers(p, fd.Body, &out)
+			}
+		}
+		return out
+	},
+}
+
+// checkAfterInLoops flags time.After/time.Tick lexically inside a loop of
+// the same frame (function literals are their own frames: a literal's
+// loops are checked when the literal body is reached by the walk, and a
+// literal inside a loop starts loop-free).
+func checkAfterInLoops(p *Package, body *ast.BlockStmt, seen map[*ast.CallExpr]bool, out *[]Finding) {
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				walk(x.Body, 0)
+				return false
+			case *ast.ForStmt:
+				if x.Init != nil {
+					walk(x.Init, loopDepth)
+				}
+				if x.Cond != nil {
+					walk(x.Cond, loopDepth)
+				}
+				if x.Post != nil {
+					walk(x.Post, loopDepth)
+				}
+				walk(x.Body, loopDepth+1)
+				return false
+			case *ast.RangeStmt:
+				if x.X != nil {
+					walk(x.X, loopDepth)
+				}
+				walk(x.Body, loopDepth+1)
+				return false
+			case *ast.CallExpr:
+				if loopDepth == 0 || seen[x] {
+					return true
+				}
+				if isStdCall(p, x, "time", "After") {
+					seen[x] = true
+					*out = append(*out, p.finding(x.Pos(), "timerleak",
+						"time.After in a loop allocates a timer per iteration that lives until it fires; hoist one time.NewTimer (Reset per pass) or use a Ticker"))
+				} else if isStdCall(p, x, "time", "Tick") {
+					seen[x] = true
+					*out = append(*out, p.finding(x.Pos(), "timerleak",
+						"time.Tick leaks its ticker by design; use time.NewTicker with a deferred Stop"))
+				}
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+}
+
+// checkAfterInSelects flags `case <-time.After(d):` select cases.
+func checkAfterInSelects(p *Package, body *ast.BlockStmt, seen map[*ast.CallExpr]bool, out *[]Finding) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			var recv ast.Expr
+			switch comm := cc.Comm.(type) {
+			case *ast.ExprStmt:
+				recv = comm.X
+			case *ast.AssignStmt:
+				if len(comm.Rhs) == 1 {
+					recv = comm.Rhs[0]
+				}
+			}
+			ue, ok := unparen(recv).(*ast.UnaryExpr)
+			if !ok {
+				continue
+			}
+			call, ok := unparen(ue.X).(*ast.CallExpr)
+			if !ok || seen[call] || !isStdCall(p, call, "time", "After") {
+				continue
+			}
+			seen[call] = true
+			*out = append(*out, p.finding(call.Pos(), "timerleak",
+				"time.After in a select leaks its timer until it fires when another case wins; use t := time.NewTimer(d); defer t.Stop(); case <-t.C"))
+		}
+		return true
+	})
+}
+
+// checkUnstoppedTimers flags NewTimer/NewTicker results that are
+// discarded outright or assigned to a local variable whose Stop is never
+// called anywhere in the declaration.
+func checkUnstoppedTimers(p *Package, body *ast.BlockStmt, out *[]Finding) {
+	type pending struct {
+		obj  types.Object
+		call *ast.CallExpr
+		kind string
+	}
+	var pendings []pending
+	record := func(lhs ast.Expr, call *ast.CallExpr, kind string) {
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok {
+			return // struct field or indexed target: cross-function discipline
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil || id.Name == "_" {
+			*out = append(*out, p.finding(call.Pos(), "timerleak",
+				"time.%s result discarded: nothing can ever Stop it", kind))
+			return
+		}
+		pendings = append(pendings, pending{obj: obj, call: call, kind: kind})
+	}
+	timerKind := func(call *ast.CallExpr) string {
+		if isStdCall(p, call, "time", "NewTimer") {
+			return "NewTimer"
+		}
+		if isStdCall(p, call, "time", "NewTicker") {
+			return "NewTicker"
+		}
+		return ""
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if kind := timerKind(call); kind != "" {
+					*out = append(*out, p.finding(call.Pos(), "timerleak",
+						"time.%s result discarded: nothing can ever Stop it", kind))
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+						if kind := timerKind(call); kind != "" {
+							record(n.Lhs[i], call, kind)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, v := range n.Values {
+					if call, ok := unparen(v).(*ast.CallExpr); ok {
+						if kind := timerKind(call); kind != "" {
+							record(n.Names[i], call, kind)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(pendings) == 0 {
+		return
+	}
+	stopped := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Stop" {
+			return true
+		}
+		if id, ok := unparen(sel.X).(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil {
+				stopped[obj] = true
+			}
+		}
+		return true
+	})
+	for _, pd := range pendings {
+		if !stopped[pd.obj] {
+			*out = append(*out, p.finding(pd.call.Pos(), "timerleak",
+				"time.%s assigned to %s but %s.Stop() is never called in this function; a ticker ticks forever, a timer lives to expiry",
+				pd.kind, pd.obj.Name(), pd.obj.Name()))
+		}
+	}
+}

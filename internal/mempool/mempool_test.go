@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"prever/internal/conf"
+	"prever/internal/leaktest"
 )
 
 // --- TTLFilter -----------------------------------------------------------
@@ -263,6 +264,7 @@ func TestPoolFailedOpMayRetry(t *testing.T) {
 }
 
 func TestPoolCloseFailsQueuedOps(t *testing.T) {
+	defer leaktest.Check(t)()
 	p := NewPool(Config{Cap: 10, Lanes: 2, BatchSize: 10})
 	var got atomic.Value
 	if err := p.Add(Op{ID: "x", Lane: "a"}, func(err error) { got.Store(err) }); err != nil {
@@ -320,6 +322,7 @@ func (s *stubProposer) batchCount() int {
 }
 
 func TestBatcherBatchesAndPipelines(t *testing.T) {
+	defer leaktest.Check(t)()
 	p := NewPool(Config{Cap: 1000, Lanes: 4, BatchSize: 8, FlushInterval: time.Millisecond, MaxInFlight: 3, DedupTTL: time.Minute})
 	prop := newStubProposer(1000)
 	b := NewBatcher(p, prop.propose)
@@ -362,6 +365,7 @@ func TestBatcherBatchesAndPipelines(t *testing.T) {
 }
 
 func TestBatcherRespectsMaxInFlight(t *testing.T) {
+	defer leaktest.Check(t)()
 	p := NewPool(Config{Cap: 1000, Lanes: 1, BatchSize: 1, FlushInterval: 0, MaxInFlight: 2, DedupTTL: time.Minute})
 	prop := newStubProposer(0) // unbuffered: proposals block until released
 	b := NewBatcher(p, prop.propose)
@@ -391,6 +395,7 @@ func TestBatcherRespectsMaxInFlight(t *testing.T) {
 }
 
 func TestBatcherDispatchOrderPerLane(t *testing.T) {
+	defer leaktest.Check(t)()
 	p := NewPool(Config{Cap: 1000, Lanes: 2, BatchSize: 4, FlushInterval: time.Millisecond, MaxInFlight: 4, DedupTTL: time.Minute})
 	prop := newStubProposer(1000)
 	b := NewBatcher(p, prop.propose)

@@ -134,12 +134,14 @@ func (p *SumParty) RunSum(sessionID string, parties []string, timeout time.Durat
 		p.net.Send(netsim.Message{From: p.id, To: id, Type: msgStart, Payload: body})
 	}
 	p.onStart(start) // run own share distribution
+	tmr := time.NewTimer(timeout)
+	defer tmr.Stop()
 	select {
 	case <-s.done:
 		p.mu.Lock()
 		defer p.mu.Unlock()
 		return shamir.DecodeSigned(s.total, p.field), nil
-	case <-time.After(timeout):
+	case <-tmr.C:
 		return nil, fmt.Errorf("mpc: session %s timed out", sessionID)
 	}
 }

@@ -3,6 +3,7 @@ package mpc
 import (
 	"fmt"
 	"math/big"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -301,5 +302,27 @@ func BenchmarkCheckBound3(b *testing.B) {
 		if _, err := CheckBound(pk, h, inputs, 40); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestRunSumTimesOutOnCrashedParty pins RunSum's deadline arm after the
+// time.After -> stoppable-timer refactor: a session missing a party's
+// shares must fail at the timeout, not block forever.
+func TestRunSumTimesOutOnCrashedParty(t *testing.T) {
+	net, parties := newParties(t, 3, netsim.Config{})
+	for i, p := range parties {
+		p.SetInput("stall", big.NewInt(int64(i)))
+	}
+	if err := net.Crash(parties[2].ID()); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 250 * time.Millisecond
+	start := time.Now()
+	_, err := parties[0].RunSum("stall", ids(parties), budget)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("RunSum with a crashed party = %v, want session timeout", err)
+	}
+	if since := time.Since(start); since < budget {
+		t.Fatalf("RunSum returned after %v, before its %v deadline", since, budget)
 	}
 }

@@ -298,9 +298,8 @@ func (r *Replica) adoptImage(img *pxImage) {
 	// dedups by transaction identity).
 	for slot, w := range r.waiters {
 		if slot < r.applied {
-			w.lost = true
-			close(w.done)
 			delete(r.waiters, slot)
+			w.finish(true)
 		}
 	}
 	if r.log != nil && !r.walFailed {

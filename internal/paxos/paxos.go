@@ -126,6 +126,15 @@ type slotWaiter struct {
 	lost  bool
 }
 
+// finish wakes the parked proposer: lost is published before done
+// closes. Every path that removes a waiter from r.waiters funnels
+// through here after the removal, so done has exactly one close site
+// and the map is the mutual-exclusion token against a double close.
+func (w *slotWaiter) finish(lost bool) {
+	w.lost = lost
+	close(w.done)
+}
+
 // Replica is one Paxos node: acceptor + learner, and optionally the
 // leader/proposer.
 type Replica struct {
@@ -233,7 +242,9 @@ func (r *Replica) BecomeLeader(timeout time.Duration) error {
 
 	r.broadcast(msgPrepare, prepareMsg{Ballot: ballot})
 
-	deadline := time.After(timeout)
+	deadlineTmr := time.NewTimer(timeout)
+	defer deadlineTmr.Stop()
+	deadline := deadlineTmr.C
 	for {
 		r.mu.Lock()
 		if len(r.promises) >= r.quorum() {
@@ -358,13 +369,15 @@ func (p *PendingProposal) Slot() uint64 { return p.slot }
 // elapses. ErrSlotLost means a competing proposal took the slot; the
 // value was not committed there and may be retried.
 func (p *PendingProposal) Wait(timeout time.Duration) (uint64, error) {
+	tmr := time.NewTimer(timeout)
+	defer tmr.Stop()
 	select {
 	case <-p.w.done:
 		if p.w.lost {
 			return 0, ErrSlotLost
 		}
 		return p.slot, nil
-	case <-time.After(timeout):
+	case <-tmr.C:
 		p.r.mu.Lock()
 		delete(p.r.waiters, p.slot)
 		p.r.mu.Unlock()
@@ -709,10 +722,10 @@ func (r *Replica) onLearn(l learnMsg) {
 		toApply = append(toApply, applyItem{r.applied, v})
 		r.applied++
 	}
-	var toWake []*slotWaiter
+	var toWake *slotWaiter
+	var toWakeLost bool
 	if w, ok := r.waiters[l.Slot]; ok {
-		w.lost = !bytes.Equal(w.value, l.Value)
-		toWake = append(toWake, w)
+		toWake, toWakeLost = w, !bytes.Equal(w.value, l.Value)
 		delete(r.waiters, l.Slot)
 	}
 	apply := r.apply
@@ -722,8 +735,8 @@ func (r *Replica) onLearn(l learnMsg) {
 			apply(it.slot, it.value)
 		}
 	}
-	for _, w := range toWake {
-		close(w.done)
+	if toWake != nil {
+		toWake.finish(toWakeLost)
 	}
 	if len(toApply) > 0 {
 		// Still under applyMu: no concurrent apply can run, so the

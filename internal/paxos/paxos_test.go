@@ -2,6 +2,7 @@ package paxos
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -247,5 +248,55 @@ func benchPaxos(b *testing.B, n int) {
 		if _, err := leader.Propose(val, 5*time.Second); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestBecomeLeaderTimesOutWithoutQuorum pins the election deadline after
+// the time.After -> stoppable-timer refactor: with the promise quorum
+// crashed the election must fail at the deadline instead of spinning.
+func TestBecomeLeaderTimesOutWithoutQuorum(t *testing.T) {
+	c := newCluster(t, 3, netsim.Config{})
+	for _, r := range c.replicas[1:] {
+		if err := c.net.Crash(r.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const budget = 250 * time.Millisecond
+	start := time.Now()
+	err := c.replicas[0].BecomeLeader(budget)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("BecomeLeader without a quorum = %v, want election timeout", err)
+	}
+	if since := time.Since(start); since < budget {
+		t.Fatalf("BecomeLeader returned after %v, before its %v deadline", since, budget)
+	}
+}
+
+// TestProposalWaitTimeoutDetachesWaiter: a timed-out Wait (stoppable
+// timer since the timerleak fix) must also deregister its slot waiter so
+// a learn arriving later finds nobody to wake instead of a stale entry.
+func TestProposalWaitTimeoutDetachesWaiter(t *testing.T) {
+	c := newCluster(t, 3, netsim.Config{})
+	if err := c.replicas[0].BecomeLeader(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range c.replicas[1:] {
+		if err := c.net.Crash(r.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := c.replicas[0].ProposeAsync([]byte("stalled"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, werr := p.Wait(200 * time.Millisecond); werr == nil || !strings.Contains(werr.Error(), "timed out") {
+		t.Fatalf("Wait with crashed acceptors = %v, want timeout", werr)
+	}
+	r0 := c.replicas[0]
+	r0.mu.Lock()
+	_, still := r0.waiters[p.Slot()]
+	r0.mu.Unlock()
+	if still {
+		t.Fatal("timed-out proposal left its slot waiter registered")
 	}
 }

@@ -78,10 +78,12 @@ func (p *Pending) Wait(budget time.Duration) error {
 			try = rem
 		}
 		if try > 0 {
+			tmr := time.NewTimer(try)
 			select {
 			case <-p.done:
+				tmr.Stop()
 				return nil
-			case <-time.After(try):
+			case <-tmr.C:
 			}
 		}
 		p.done = nil

@@ -2,6 +2,7 @@ package pbft
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -136,5 +137,32 @@ func TestPendingWaitRetriesSameSeqAcrossPrimaryCrash(t *testing.T) {
 		if got := r.Executed(); got != 1 {
 			t.Fatalf("%s executed %d instances, want 1", r.ID(), got)
 		}
+	}
+}
+
+// TestPendingWaitBudgetExhausted: Wait's per-try timer is clamped to the
+// remaining budget, so on a cluster that cannot execute it must surface
+// budget exhaustion right after the budget elapses. The pre-refactor
+// time.After here allocated a fresh unstoppable timer per retry.
+func TestPendingWaitBudgetExhausted(t *testing.T) {
+	c := newCluster(t, 1, Options{}, netsim.Config{})
+	for _, r := range c.replicas[1:] {
+		if err := c.net.Crash(r.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client, err := NewClient(c.net, c.replicas, "budget", ClientOptions{TryTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := client.Start([]byte("never-commits"))
+	const budget = 200 * time.Millisecond
+	start := time.Now()
+	werr := p.Wait(budget)
+	if werr == nil || !strings.Contains(werr.Error(), "budget exhausted") {
+		t.Fatalf("Wait on a dead cluster = %v, want budget exhaustion", werr)
+	}
+	if since := time.Since(start); since < budget {
+		t.Fatalf("Wait returned after %v, before its %v budget", since, budget)
 	}
 }

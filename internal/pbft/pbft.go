@@ -440,10 +440,12 @@ func (r *Replica) broadcast(msgType string, v any) {
 // retry.
 func (r *Replica) Submit(client string, clientSeq uint64, op []byte, timeout time.Duration) error {
 	done := r.SubmitAsync(client, clientSeq, op)
+	tmr := time.NewTimer(timeout)
+	defer tmr.Stop()
 	select {
 	case <-done:
 		return nil
-	case <-time.After(timeout):
+	case <-tmr.C:
 		return errors.New("pbft: request timed out")
 	}
 }
@@ -912,8 +914,11 @@ func (r *Replica) executeInstanceLocked(seq uint64, digest Digest, batch []Reque
 	// dedup marks must replay identically) is journaled before any
 	// waiter is woken. A journal failure degrades to in-memory
 	// execution: the batch committed cluster-wide and is recoverable by
-	// state transfer.
-	_ = r.journalLocked(pbRecord{K: pbEX, Seq: seq, Digest: digest, Batch: batch})
+	// state transfer. The outcome is kept to gate the checkpoint vote
+	// below — durable-before-send (DESIGN §4e) — and since pbEX is a
+	// tolerated kind (journalLocked returns true to keep executing),
+	// walFailed is consulted too.
+	durable := r.journalLocked(pbRecord{K: pbEX, Seq: seq, Digest: digest, Batch: batch}) && !r.walFailed
 	apply := r.apply
 	r.applying++
 	r.mu.Unlock()
@@ -925,8 +930,13 @@ func (r *Replica) executeInstanceLocked(seq uint64, digest Digest, batch []Reque
 	}
 	r.mu.Lock()
 	r.applying--
-	// Checkpointing.
-	if r.execSeq%r.opts.CheckpointEvery == 0 {
+	// Checkpointing. The vote asserts "my state through execSeq is on
+	// disk" to peers who will truncate their logs on a quorum of such
+	// votes — so a replica whose journal append failed must stay
+	// silent: after a crash it could not replay past its last durable
+	// record, and a checkpoint quorum it joined would have let peers
+	// discard the very entries needed to re-feed it.
+	if durable && r.execSeq%r.opts.CheckpointEvery == 0 {
 		ck := checkpointMsg{Seq: r.execSeq, Replica: r.id}
 		r.mu.Unlock()
 		r.broadcast(msgCheckpoint, ck)

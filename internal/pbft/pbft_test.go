@@ -2,6 +2,7 @@ package pbft
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -356,5 +357,27 @@ func TestConflictingPrePrepareIgnored(t *testing.T) {
 				t.Fatalf("replica %s executed an equivocated batch", r.ID())
 			}
 		}
+	}
+}
+
+// TestSubmitTimesOutWithoutQuorum pins the deadline arm of Submit after
+// the time.After -> stoppable-timer refactor: with the prepare quorum
+// crashed, the call must come back with the timeout error at the
+// deadline — neither early nor never.
+func TestSubmitTimesOutWithoutQuorum(t *testing.T) {
+	c := newCluster(t, 1, Options{}, netsim.Config{})
+	for _, r := range c.replicas[1:] {
+		if err := c.net.Crash(r.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const budget = 250 * time.Millisecond
+	start := time.Now()
+	err := c.replicas[0].Submit("cli", 1, []byte("op"), budget)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("Submit with a crashed quorum = %v, want timeout", err)
+	}
+	if since := time.Since(start); since < budget {
+		t.Fatalf("Submit returned after %v, before its %v deadline", since, budget)
 	}
 }

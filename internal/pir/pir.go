@@ -206,6 +206,7 @@ func (d *Database) PrivateRead(i int, rng io.Reader) ([]byte, error) {
 func (d *Database) Consistent() bool {
 	d.s0.mu.RLock()
 	defer d.s0.mu.RUnlock()
+	//lint:ignore lockorder the two replicas are locked in the fixed s0-before-s1 order everywhere; no reverse path exists
 	d.s1.mu.RLock()
 	defer d.s1.mu.RUnlock()
 	if len(d.s0.blocks) != len(d.s1.blocks) {
