@@ -1,4 +1,4 @@
-// Command prever-bench runs the PReVer experiment suite (E1–E10, see
+// Command prever-bench runs the PReVer experiment suite (E1–E11, see
 // DESIGN.md §3) and the open-loop load generator.
 //
 // Usage:
@@ -159,7 +159,7 @@ func runExperiments(args []string) {
 	defaults := conf.Defaults()
 	fs := flag.NewFlagSet("prever-bench", flag.ExitOnError)
 	scaleFlag := fs.String("scale", "quick", "experiment scale: quick or full")
-	onlyFlag := fs.String("only", "", "run a single experiment (E1, E1b, E2..E10)")
+	onlyFlag := fs.String("only", "", "run a single experiment (E1, E1b, E2..E11)")
 	jsonFlag := fs.Bool("json", false, "emit machine-readable JSON tables instead of text")
 	batchFlag := fs.Int("batch", defaults.BatchSize, "mempool batch size (ops per consensus instance)")
 	flushFlag := fs.Duration("flush", defaults.FlushInterval, "partial-batch flush interval")
@@ -199,6 +199,7 @@ func runExperiments(args []string) {
 		"E8":  bench.E8Adversary,
 		"E9":  bench.E9OpenLoad,
 		"E10": bench.E10Recovery,
+		"E11": bench.E11Crypto,
 	}
 
 	start := time.Now()

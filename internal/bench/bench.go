@@ -151,6 +151,7 @@ func Experiments() []func(Scale) (*Table, error) {
 		E8Adversary,
 		E9OpenLoad,
 		E10Recovery,
+		E11Crypto,
 	}
 }
 

@@ -120,6 +120,7 @@ func TestE4Consensus(t *testing.T) { runExperiment(t, "E4", E4Consensus) }
 func TestE5Integrity(t *testing.T) { runExperiment(t, "E5", E5Integrity) }
 func TestE6PIR(t *testing.T)       { runExperiment(t, "E6", E6PIR) }
 func TestE7DP(t *testing.T)        { runExperiment(t, "E7", E7DP) }
+func TestE11Crypto(t *testing.T)   { runExperiment(t, "E11", E11Crypto) }
 
 func TestE8AdversaryAllDetected(t *testing.T) {
 	tbl, err := E8Adversary(Quick)

@@ -311,6 +311,7 @@ func E2Verify(scale Scale) (*Table, error) {
 			continue
 		}
 		zkBench(t, cc.name, zkN)
+		zkBenchBatched(t, cc.name, zkN)
 	}
 	return t, nil
 }
@@ -339,6 +340,45 @@ func zkBench(t *Table, name string, n int) {
 		}
 	}
 	t.AddRow(append([]string{name, "zk-proof", perOp(n, time.Since(start))}, latencyCells(m.Stats())...)...)
+}
+
+// zkBenchBatched is zkBench over the amortized path: the owner's proofs
+// are produced up front (proving cost excluded), then the whole chain is
+// submitted as one batch so the manager verifies it with a single folded
+// check per group (SubmitZKBatch → zk.VerifyBoundBatch).
+func zkBenchBatched(t *Table, name string, n int) {
+	fail := func(err error) {
+		t.AddRow(append([]string{name, "zk-proof (batched)", "error: " + err.Error()}, naLatencyCells()...)...)
+	}
+	params := zkParams()
+	m, err := core.NewZKBoundManager(name, params, int64(n)*2)
+	if err != nil {
+		fail(err)
+		return
+	}
+	owner := core.NewZKOwner(params, name, int64(n)*2)
+	us := make([]core.ZKUpdate, n)
+	for i := range us {
+		u, err := owner.ProduceUpdate(fmt.Sprintf("u%d", i), "w1", "w1", 1)
+		if err != nil {
+			fail(err)
+			return
+		}
+		us[i] = u
+	}
+	start := time.Now()
+	rs, err := m.SubmitZKBatch(us)
+	if err != nil {
+		fail(err)
+		return
+	}
+	for _, r := range rs {
+		if !r.Accepted {
+			fail(fmt.Errorf("update %s rejected: %s", r.UpdateID, r.Reason))
+			return
+		}
+	}
+	t.AddRow(append([]string{name, "zk-proof (batched)", perOp(n, time.Since(start))}, latencyCells(m.Stats())...)...)
 }
 
 // E3Federated contrasts the two RC2 enforcement mechanisms — Separ-style

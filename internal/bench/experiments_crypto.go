@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"prever/internal/commit"
+	"prever/internal/group"
+	"prever/internal/he"
+	"prever/internal/zk"
+)
+
+var (
+	prodParamsOnce sync.Once
+	prodParamsVal  *commit.Params
+)
+
+// prodParams returns commitment parameters over the production-sized
+// MODP2048 group (cached: the fixed-base window tables are the
+// expensive part of construction).
+func prodParams() *commit.Params {
+	prodParamsOnce.Do(func() { prodParamsVal = commit.NewParams(group.MODP2048()) })
+	return prodParamsVal
+}
+
+// E11Crypto measures the amortized-verification primitives (ISSUE 10):
+// random-linear-combination batch verification of Σ-proofs against the
+// sequential baseline, Paillier CRT decryption against the textbook
+// path, and the Straus multi-exponentiation against one-at-a-time
+// exponentiation. Each pair shares its inputs, so the speedup column is
+// a like-for-like ratio.
+func E11Crypto(scale Scale) (*Table, error) {
+	nOpen, nBound, nExp, heBits := 16, 4, 16, 512
+	if scale == Full {
+		nOpen, nBound, nExp, heBits = 64, 8, 64, 1024
+	}
+	t := &Table{
+		ID:     "E11",
+		Title:  "Amortized crypto: batched Σ-proof verification and Paillier CRT decryption",
+		Notes:  fmt.Sprintf("Σ-proofs and multi-exp over RFC 3526 MODP2048; Paillier %d-bit; speedup = baseline time / amortized time on identical inputs", heBits),
+		Header: []string{"primitive", "mode", "ops", "total", "per-op", "speedup"},
+	}
+	addPair := func(name, baseMode, fastMode string, n int, base, fast time.Duration) {
+		t.AddRow(name, baseMode, fmt.Sprintf("%d", n), fmtDur(base), perOp(n, base), "1.0x")
+		t.AddRow(name, fastMode, fmt.Sprintf("%d", n), fmtDur(fast), perOp(n, fast),
+			fmt.Sprintf("%.1fx", float64(base)/float64(fast)))
+	}
+
+	// Opening proofs: n sequential VerifyOpening calls vs one RLC fold.
+	p := prodParams()
+	cs := make([]commit.Commitment, nOpen)
+	prs := make([]zk.OpeningProof, nOpen)
+	ctxs := make([]string, nOpen)
+	for i := range cs {
+		c, o, err := p.CommitInt(int64(i+1), nil)
+		if err != nil {
+			return nil, err
+		}
+		ctxs[i] = fmt.Sprintf("e11/open/%d", i)
+		pr, err := zk.ProveOpening(p, c, o, ctxs[i], nil)
+		if err != nil {
+			return nil, err
+		}
+		cs[i], prs[i] = c, pr
+	}
+	seqStart := time.Now()
+	for i := range prs {
+		if err := zk.VerifyOpening(p, cs[i], prs[i], ctxs[i]); err != nil {
+			return nil, err
+		}
+	}
+	seq := time.Since(seqStart)
+	batchStart := time.Now()
+	errs, err := zk.VerifyOpeningBatch(p, cs, prs, ctxs, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("bench: opening proof %d invalid: %w", i, e)
+		}
+	}
+	addPair("opening verify", "sequential", "batched (RLC fold)", nOpen, seq, time.Since(batchStart))
+
+	// Bound proofs (the engine-facing composite): sequential VerifyBound
+	// vs the flattened range/bit fold.
+	tp := p
+	bound := big.NewInt(40)
+	bcs := make([]commit.Commitment, nBound)
+	bprs := make([]zk.BoundProof, nBound)
+	bctxs := make([]string, nBound)
+	for i := range bcs {
+		c, o, err := tp.CommitInt(int64(2*i+1), nil)
+		if err != nil {
+			return nil, err
+		}
+		bctxs[i] = fmt.Sprintf("e11/bound/%d", i)
+		pr, err := zk.ProveBound(tp, c, o, bound, bctxs[i], nil)
+		if err != nil {
+			return nil, err
+		}
+		bcs[i], bprs[i] = c, pr
+	}
+	seqStart = time.Now()
+	for i := range bprs {
+		if err := zk.VerifyBound(tp, bcs[i], bound, bprs[i], bctxs[i]); err != nil {
+			return nil, err
+		}
+	}
+	seq = time.Since(seqStart)
+	batchStart = time.Now()
+	berrs, err := zk.VerifyBoundBatch(tp, bcs, bound, bprs, bctxs, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range berrs {
+		if e != nil {
+			return nil, fmt.Errorf("bench: bound proof %d invalid: %w", i, e)
+		}
+	}
+	addPair("bound verify", "sequential", "batched (RLC fold)", nBound, seq, time.Since(batchStart))
+
+	// Paillier decryption: textbook c^λ mod n² vs CRT mod p², q².
+	sk, err := he.GenerateKey(heBits, nil)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := sk.Encrypt(big.NewInt(-123456789), nil)
+	if err != nil {
+		return nil, err
+	}
+	const nDec = 16
+	legacyStart := time.Now()
+	for i := 0; i < nDec; i++ {
+		if _, err := sk.DecryptLegacy(ct); err != nil {
+			return nil, err
+		}
+	}
+	legacy := time.Since(legacyStart)
+	crtStart := time.Now()
+	for i := 0; i < nDec; i++ {
+		if _, err := sk.Decrypt(ct); err != nil {
+			return nil, err
+		}
+	}
+	addPair("paillier decrypt", "legacy (mod n²)", "CRT (mod p², q²)", nDec, legacy, time.Since(crtStart))
+
+	// Multi-exponentiation: n independent Exp+Mul vs one Straus pass over
+	// the same bases and (RLC-sized) exponents.
+	g := p.Group
+	bases := make([]*big.Int, nExp)
+	exps := make([]*big.Int, nExp)
+	for i := range bases {
+		b, err := g.RandElement(nil)
+		if err != nil {
+			return nil, err
+		}
+		e, err := g.RandScalar(nil)
+		if err != nil {
+			return nil, err
+		}
+		bases[i], exps[i] = b, e.Rsh(e, uint(g.Q.BitLen()-128)) // 128-bit, RLC-shaped
+	}
+	naiveStart := time.Now()
+	naive := big.NewInt(1)
+	for i := range bases {
+		naive = g.Mul(naive, g.Exp(bases[i], exps[i]))
+	}
+	naiveD := time.Since(naiveStart)
+	strausStart := time.Now()
+	straus, err := g.MultiExp(bases, exps)
+	if err != nil {
+		return nil, err
+	}
+	strausD := time.Since(strausStart)
+	if naive.Cmp(straus) != 0 {
+		return nil, fmt.Errorf("bench: MultiExp disagrees with naive product")
+	}
+	addPair("multi-exp (128-bit exps)", "per-term Exp", "Straus interleaved", nExp, naiveD, strausD)
+
+	return t, nil
+}

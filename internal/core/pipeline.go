@@ -241,3 +241,58 @@ func SubmitConcurrent[U any](submit func(U) (Receipt, error), laneOf func(U) str
 	}
 	return rs, err
 }
+
+// SubmitGrouped partitions a batch by lane key and hands each key's
+// subsequence — in submission order — to a group-batch function, so an
+// engine with an amortized batch verifier (one folded check per drained
+// lane) sees whole lanes at once instead of one update at a time.
+// Groups run concurrently under a width-bounded semaphore (width <= 0
+// means GOMAXPROCS); receipts are returned in input order, and the
+// error is the first operational error in input order (rejections are
+// receipts, not errors — matching SubmitSequential).
+func SubmitGrouped[U any](submitGroup func([]U) ([]Receipt, error), laneOf func(U) string, us []U, width int) ([]Receipt, error) {
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	// Order-preserving partition: groups remember first-seen order so
+	// error selection stays deterministic.
+	idx := make(map[string][]int)
+	var keys []string
+	for i, u := range us {
+		k := laneOf(u)
+		if _, ok := idx[k]; !ok {
+			keys = append(keys, k)
+		}
+		idx[k] = append(idx[k], i)
+	}
+	receipts := make([]Receipt, len(us))
+	groupErrs := make([]error, len(keys))
+	sem := make(chan struct{}, width)
+	var wg sync.WaitGroup
+	for gi, k := range keys {
+		wg.Add(1)
+		go func(gi int, ids []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			group := make([]U, len(ids))
+			for j, i := range ids {
+				group[j] = us[i]
+			}
+			rs, err := submitGroup(group)
+			groupErrs[gi] = err
+			for j, i := range ids {
+				if j < len(rs) {
+					receipts[i] = rs[j]
+				}
+			}
+		}(gi, idx[k])
+	}
+	wg.Wait()
+	for _, err := range groupErrs {
+		if err != nil {
+			return receipts, err
+		}
+	}
+	return receipts, nil
+}

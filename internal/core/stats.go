@@ -22,6 +22,12 @@ type Stats struct {
 	Accepted  int64
 	Rejected  int64
 	Errors    int64
+	// BatchVerified counts submissions whose proof was checked on an
+	// amortized batch path (one folded verification for a whole drained
+	// lane) rather than individually. It is a subset of Submitted; a
+	// batch that falls back to sequential verification contributes
+	// nothing here.
+	BatchVerified int64
 	// TotalVerifyNanos accumulates wall time spent inside submissions;
 	// divide by Submitted for the mean.
 	TotalVerifyNanos int64
@@ -152,13 +158,14 @@ func quantile(counts *[histBuckets]int64, total int64, q float64, max time.Durat
 // it cannot see a record that updated the histogram but had not yet
 // bumped submitted when the read began.)
 type statsRecorder struct {
-	mu        sync.RWMutex
-	submitted atomic.Int64
-	accepted  atomic.Int64
-	rejected  atomic.Int64
-	errors    atomic.Int64
-	nanos     atomic.Int64
-	hist      latencyHist
+	mu            sync.RWMutex
+	submitted     atomic.Int64
+	accepted      atomic.Int64
+	rejected      atomic.Int64
+	errors        atomic.Int64
+	batchVerified atomic.Int64
+	nanos         atomic.Int64
+	hist          latencyHist
 }
 
 // record tracks one submission outcome.
@@ -179,6 +186,14 @@ func (s *statsRecorder) record(start time.Time, r Receipt, err error) {
 	s.submitted.Add(1)
 }
 
+// recordBatch notes that n submissions were verified on an amortized
+// batch path (their individual outcomes are still recorded via record).
+func (s *statsRecorder) recordBatch(n int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.batchVerified.Add(int64(n))
+}
+
 // snapshot returns the current counters as one consistent Stats.
 func (s *statsRecorder) snapshot() Stats {
 	s.mu.Lock()
@@ -188,6 +203,7 @@ func (s *statsRecorder) snapshot() Stats {
 		Accepted:         s.accepted.Load(),
 		Rejected:         s.rejected.Load(),
 		Errors:           s.errors.Load(),
+		BatchVerified:    s.batchVerified.Load(),
 		TotalVerifyNanos: s.nanos.Load(),
 		Latency:          s.hist.summary(),
 	}

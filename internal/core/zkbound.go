@@ -153,10 +153,87 @@ func (m *ZKBoundManager) SubmitZK(u ZKUpdate) (r Receipt, err error) {
 // chain per group, so a group's updates must apply in production order.
 func ZKLane(u ZKUpdate) string { return u.Group }
 
-// SubmitZKBatch fans a batch across group-hashed lanes: proofs for
-// different groups verify concurrently, each group's chain stays ordered.
+// SubmitZKBatch verifies a batch with one folded check per group:
+// updates are partitioned by group (each group's subsequence keeps its
+// submission order), groups verify concurrently, and within a group the
+// whole chain of bound proofs is checked by a single
+// zk.VerifyBoundBatch multi-exponentiation (submitZKGroup). Receipts
+// come back in input order.
 func (m *ZKBoundManager) SubmitZKBatch(us []ZKUpdate) ([]Receipt, error) {
-	return SubmitConcurrent(m.SubmitZK, ZKLane, us, 0)
+	return SubmitGrouped(m.submitZKGroup, ZKLane, us, 0)
+}
+
+// submitZKGroup is the amortized verify path for one group's ordered
+// updates. It optimistically assumes the happy case — every proof valid
+// and no concurrent submission advancing the group's fold — and checks
+// all proofs against the prospective chain of folded commitments with
+// one batched verification. If any proof fails, any update is
+// structurally malformed, or the fold moved mid-verify, it falls back
+// to SubmitZK per update, which reproduces the sequential semantics
+// exactly (later updates re-verify against the post-rejection fold).
+func (m *ZKBoundManager) submitZKGroup(us []ZKUpdate) (rs []Receipt, err error) {
+	if len(us) < 2 {
+		return SubmitSequential(m.SubmitZK, us)
+	}
+	group := us[0].Group
+	start := time.Now()
+	for _, u := range us {
+		if u.Group != group || u.C.C == nil || !m.params.Group.Contains(u.C.C) {
+			return SubmitSequential(m.SubmitZK, us)
+		}
+	}
+	// Prospective chain against a snapshot of the fold (lock-free verify,
+	// as in SubmitZK).
+	m.mu.RLock()
+	prev := m.runningLocked(group)
+	m.mu.RUnlock()
+	combined := make([]commit.Commitment, len(us))
+	proofs := make([]zk.BoundProof, len(us))
+	ctxs := make([]string, len(us))
+	cur := prev
+	for i, u := range us {
+		cur = m.params.Add(cur, u.C)
+		combined[i] = cur
+		proofs[i] = u.Proof
+		ctxs[i] = proofContext(m.name, group, u.ID)
+	}
+	verrs, verr := zk.VerifyBoundBatch(m.params, combined, m.bound, proofs, ctxs, nil)
+	if verr != nil {
+		return SubmitSequential(m.SubmitZK, us)
+	}
+	for _, e := range verrs {
+		if e != nil {
+			// At least one rejection: the chain past it is against the
+			// wrong fold, so the whole group replays sequentially.
+			return SubmitSequential(m.SubmitZK, us)
+		}
+	}
+	// Incorporate: only if the fold is still where verification left it.
+	m.mu.Lock()
+	if got := m.runningLocked(group); !got.Equal(prev) {
+		m.mu.Unlock()
+		return SubmitSequential(m.SubmitZK, us)
+	}
+	m.running[group] = combined[len(us)-1]
+	m.mu.Unlock()
+	m.stats.recordBatch(len(us))
+	rs = make([]Receipt, len(us))
+	var firstErr error
+	for i, u := range us {
+		payload := append(u.C.Bytes(), combined[i].Bytes()...)
+		rcpt, lerr := m.ledger.Put("zk/"+group+"/"+u.ID, payload, u.Producer, u.ID)
+		if lerr != nil {
+			lerr = fmt.Errorf("core: ledger: %w", lerr)
+			if firstErr == nil {
+				firstErr = lerr
+			}
+			m.stats.record(start, Receipt{}, lerr)
+			continue
+		}
+		rs[i] = Receipt{UpdateID: u.ID, Accepted: true, LedgerSeq: rcpt.Seq}
+		m.stats.record(start, rs[i], nil)
+	}
+	return rs, firstErr
 }
 
 // ZKOwner is the data-owner side: it knows the plaintext values and

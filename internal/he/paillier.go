@@ -36,6 +36,52 @@ type PrivateKey struct {
 	PublicKey
 	lambda *big.Int // lcm(p-1, q-1)
 	mu     *big.Int // lambda^{-1} mod n
+	crt    *crtKey  // per-prime components; nil falls back to the legacy path
+}
+
+// crtKey caches the per-prime components of CRT decryption. Working
+// modulo p² and q² instead of n² makes each exponentiation operate on
+// half-width moduli with half-width exponents — roughly a 4x saving on
+// the dominant modular exponentiation — at the price of retaining the
+// factorization in the private key (which Paillier decryption is
+// already equivalent to knowing).
+type crtKey struct {
+	p, q     *big.Int // prime factors of n
+	p2, q2   *big.Int // p², q²
+	pm1, qm1 *big.Int // p-1, q-1 (per-prime decryption exponents)
+	hp, hq   *big.Int // L_p(g^{p-1} mod p²)^{-1} mod p, and the q analogue
+	pInvQ    *big.Int // p^{-1} mod q, for Garner recombination
+}
+
+// newCRTKey derives the CRT components for g = n+1. Returns nil if any
+// inverse fails to exist (impossible for distinct odd primes; the guard
+// keeps Decrypt's fallback path honest).
+func newCRTKey(p, q, n *big.Int) *crtKey {
+	k := &crtKey{
+		p:   p,
+		q:   q,
+		p2:  new(big.Int).Mul(p, p),
+		q2:  new(big.Int).Mul(q, q),
+		pm1: new(big.Int).Sub(p, one),
+		qm1: new(big.Int).Sub(q, one),
+	}
+	g := new(big.Int).Add(n, one)
+	k.hp = lFunc(new(big.Int).Exp(g, k.pm1, k.p2), p)
+	k.hp.ModInverse(k.hp, p)
+	k.hq = lFunc(new(big.Int).Exp(g, k.qm1, k.q2), q)
+	k.hq.ModInverse(k.hq, q)
+	k.pInvQ = new(big.Int).ModInverse(p, q)
+	if k.hp == nil || k.hq == nil || k.pInvQ == nil {
+		return nil
+	}
+	return k
+}
+
+// lFunc is the Paillier L function over a prime modulus: L_p(x) = (x-1)/p
+// (the division is exact for x ≡ 1 mod p).
+func lFunc(x, p *big.Int) *big.Int {
+	out := new(big.Int).Sub(x, one)
+	return out.Div(out, p)
 }
 
 // Ciphertext is a Paillier ciphertext; an opaque element of Z_{n²}*.
@@ -83,6 +129,7 @@ func GenerateKey(bits int, rng io.Reader) (*PrivateKey, error) {
 			PublicKey: PublicKey{N: n, N2: new(big.Int).Mul(n, n)},
 			lambda:    lambda,
 			mu:        mu,
+			crt:       newCRTKey(p, q, n),
 		}, nil
 	}
 }
@@ -145,21 +192,68 @@ func (pk *PublicKey) EncryptInt(m int64, rng io.Reader) (*Ciphertext, error) {
 	return pk.Encrypt(big.NewInt(m), rng)
 }
 
-// Decrypt recovers the signed message.
+// Decrypt recovers the signed message. It uses the CRT path: one
+// exponentiation mod p² with exponent p-1 (c^{p-1} lands in the
+// 1 + multiples-of-p subgroup because the unit group mod p² has order
+// p(p-1) and n(p-1) ≡ 0 mod p(p-1)), the analogous step mod q², and
+// Garner recombination of the two half-width residues. The result is
+// bit-for-bit identical to DecryptLegacy on every valid ciphertext.
 func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
-	if ct == nil || ct.C == nil {
-		return nil, errors.New("he: nil ciphertext")
+	if err := sk.checkCiphertext(ct); err != nil {
+		return nil, err
 	}
-	if ct.C.Sign() <= 0 || ct.C.Cmp(sk.N2) >= 0 {
-		return nil, errors.New("he: ciphertext out of range")
+	if sk.crt == nil {
+		return sk.decode(sk.legacyResidue(ct)), nil
 	}
+	k := sk.crt
+	mp := crtHalf(ct.C, k.p, k.p2, k.pm1, k.hp)
+	mq := crtHalf(ct.C, k.q, k.q2, k.qm1, k.hq)
+	// Garner: m = mp + p·((mq - mp)·p^{-1} mod q), the unique value in
+	// [0, n) congruent to mp mod p and mq mod q.
+	m := new(big.Int).Sub(mq, mp)
+	m.Mul(m, k.pInvQ)
+	m.Mod(m, k.q)
+	m.Mul(m, k.p)
+	m.Add(m, mp)
+	return sk.decode(m), nil
+}
+
+// crtHalf computes the message residue mod one prime:
+// L_pr(c^{pr-1} mod pr²) · h mod pr.
+func crtHalf(c, pr, pr2, prm1, h *big.Int) *big.Int {
+	u := new(big.Int).Exp(c, prm1, pr2)
+	u = lFunc(u, pr)
+	u.Mul(u, h)
+	return u.Mod(u, pr)
+}
+
+// DecryptLegacy recovers the signed message via the textbook
+// single-modulus path L(c^λ mod n²)·μ mod n. Retained as a cross-check
+// oracle for the CRT path (the two must agree bit-for-bit).
+func (sk *PrivateKey) DecryptLegacy(ct *Ciphertext) (*big.Int, error) {
+	if err := sk.checkCiphertext(ct); err != nil {
+		return nil, err
+	}
+	return sk.decode(sk.legacyResidue(ct)), nil
+}
+
+func (sk *PrivateKey) legacyResidue(ct *Ciphertext) *big.Int {
 	u := new(big.Int).Exp(ct.C, sk.lambda, sk.N2)
 	// L(u) = (u - 1) / n
 	u.Sub(u, one)
 	u.Div(u, sk.N)
 	u.Mul(u, sk.mu)
-	u.Mod(u, sk.N)
-	return sk.decode(u), nil
+	return u.Mod(u, sk.N)
+}
+
+func (sk *PrivateKey) checkCiphertext(ct *Ciphertext) error {
+	if ct == nil || ct.C == nil {
+		return errors.New("he: nil ciphertext")
+	}
+	if ct.C.Sign() <= 0 || ct.C.Cmp(sk.N2) >= 0 {
+		return errors.New("he: ciphertext out of range")
+	}
+	return nil
 }
 
 // DecryptInt decrypts to int64, erroring if the value does not fit.

@@ -1,35 +1,63 @@
 package lint
 
 import (
+	"go/ast"
 	"strconv"
+	"strings"
 )
 
-// CryptoRand reports any math/rand import inside the crypto packages.
-// Blinding factors, commitment randomness, key material, and PIR masks are
-// only as unpredictable as their source; a math/rand stream is seedable
-// and fully recoverable from a few outputs, which would let the authority
-// unblind tokens or an adversary open commitments. Simulation packages
-// (netsim, workload, bench) legitimately use math/rand for reproducible
-// runs and are out of scope.
+// CryptoRand reports two ways a seedable PRNG can leak into security
+// decisions. First, any math/rand import inside the crypto packages:
+// blinding factors, commitment randomness, key material, and PIR masks
+// are only as unpredictable as their source; a math/rand stream is
+// seedable and fully recoverable from a few outputs, which would let
+// the authority unblind tokens or an adversary open commitments.
+// Simulation packages (netsim, workload, bench) legitimately use
+// math/rand for reproducible runs and are out of scope for the import
+// check. Second — in EVERY package, because callers live everywhere — a
+// math/rand-typed value passed to a batch verifier (Verify*Batch): the
+// rng argument seeds the verifier's random-linear-combination
+// coefficients, whose unpredictability is the batch's entire soundness
+// argument, so a replayable stream lets a cheating prover pre-compute
+// proofs that survive the fold.
 var CryptoRand = &Analyzer{
 	Name: "cryptorand",
-	Doc:  "math/rand used in a crypto package where crypto/rand is required",
+	Doc:  "math/rand used where crypto/rand is required (crypto package import, or batch-verifier rng argument)",
 	Run: func(p *Package) []Finding {
-		if !cryptoPackages[p.Path] {
-			return nil
-		}
 		var out []Finding
-		for _, file := range p.Files {
-			for _, imp := range file.Imports {
-				path, err := strconv.Unquote(imp.Path.Value)
-				if err != nil {
-					continue
-				}
-				if path == "math/rand" || path == "math/rand/v2" {
-					out = append(out, p.finding(imp.Pos(), "cryptorand",
-						"crypto package imports %s; secrets need crypto/rand, a deterministic stream lets the adversary replay blinding factors and openings", path))
+		if cryptoPackages[p.Path] {
+			for _, file := range p.Files {
+				for _, imp := range file.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if path == "math/rand" || path == "math/rand/v2" {
+						out = append(out, p.finding(imp.Pos(), "cryptorand",
+							"crypto package imports %s; secrets need crypto/rand, a deterministic stream lets the adversary replay blinding factors and openings", path))
+					}
 				}
 			}
+		}
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(call)
+				if !strings.HasPrefix(name, "Verify") || !strings.HasSuffix(name, "Batch") {
+					return true
+				}
+				for _, arg := range call.Args {
+					t := p.Info.TypeOf(arg)
+					if t != nil && strings.Contains(t.String(), "math/rand") {
+						out = append(out, p.finding(arg.Pos(), "cryptorand",
+							"%s passed to %s as verifier randomness; RLC coefficients from a seedable stream let a prover pre-compute proofs that survive the fold — pass nil (crypto/rand) instead", t.String(), name))
+					}
+				}
+				return true
+			})
 		}
 		return out
 	},

@@ -17,12 +17,18 @@ import (
 // errors silently loses a batch outcome), and the durability surface
 // (Snapshot/Restore/AppendSync/CloseStorage/SaveFile — an ignored error
 // there means state that was never actually persisted, or a restore that
-// silently left the old state in place). The type checker gates the name
-// match: a call is only flagged if its result tuple actually contains an
-// error, so merkle.Tree.Append (returns int), netsim.Network.Close
-// (returns nothing) or sync.WaitGroup.Wait never trigger.
+// silently left the old state in place), and the batch verifiers
+// (Verify*Batch — they return per-proof verdicts plus an operational
+// error, and a discarded result means forged proofs sail through). The
+// type checker gates the name match: a call is only flagged if its
+// result tuple actually contains an error, so merkle.Tree.Append
+// (returns int), netsim.Network.Close (returns nothing) or
+// sync.WaitGroup.Wait never trigger.
 func errCriticalName(name string) bool {
 	if strings.HasPrefix(name, "Submit") {
+		return true
+	}
+	if strings.HasPrefix(name, "Verify") && strings.HasSuffix(name, "Batch") {
 		return true
 	}
 	switch name {

@@ -133,6 +133,12 @@ func TestCryptoRandOutOfScope(t *testing.T) {
 	checkOutOfScope(t, "cryptorand", "cryptorand")
 }
 
+func TestCryptoRandBatchArg(t *testing.T) {
+	// Loaded under a NEUTRAL path: the batch-verifier rng check is
+	// program-wide, unlike the import check.
+	checkFixture(t, "cryptorand", "cryptorandbatch", "prever/internal/lint/testdata/cryptorandbatch")
+}
+
 func TestConstTime(t *testing.T) {
 	checkFixture(t, "consttime", "consttime", "prever/internal/commit")
 }

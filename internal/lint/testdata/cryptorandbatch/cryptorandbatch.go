@@ -1,0 +1,46 @@
+// Package cryptorandbatch is the analyzer fixture for cryptorand's
+// batch-verifier argument check. Unlike the import check (scoped to the
+// crypto packages), this one is program-wide: batch verifiers are
+// CALLED from engines and benches, and the rng they receive seeds the
+// fold's random-linear-combination coefficients — the whole soundness
+// argument. The driver test loads this directory under a neutral path
+// and still expects the call-site findings (and nothing for the
+// math/rand import itself).
+package cryptorandbatch
+
+import (
+	"io"
+	"math/rand"
+)
+
+// VerifyThingBatch mimics the zk batch-verifier signature.
+func VerifyThingBatch(n int, rng io.Reader) ([]error, error) {
+	_ = rng
+	return make([]error, n), nil
+}
+
+// verifyHelper is not a batch verifier: its arguments stay unchecked.
+func verifyHelper(rng io.Reader) { _ = rng }
+
+// BadCaller hands a seedable PRNG to a batch verifier.
+func BadCaller() ([]error, error) {
+	r := rand.New(rand.NewSource(1))
+	return VerifyThingBatch(4, r) // want cryptorand
+}
+
+// GoodCaller passes nil; the verifier defaults to crypto/rand.
+func GoodCaller() ([]error, error) {
+	return VerifyThingBatch(4, nil)
+}
+
+// SuppressedCaller documents a reviewed exception.
+func SuppressedCaller() ([]error, error) {
+	r := rand.New(rand.NewSource(1))
+	//lint:ignore cryptorand fixture: reviewed deterministic replay harness
+	return VerifyThingBatch(4, r)
+}
+
+// HelperCaller passes math/rand to a non-verifier: never flagged.
+func HelperCaller() {
+	verifyHelper(rand.New(rand.NewSource(2)))
+}

@@ -127,3 +127,32 @@ func durabilityVoidLookalikes(c cache) {
 	c.Snapshot()
 	c.Restore(nil)
 }
+
+// verifier mirrors the zk batch-verification surface: per-proof verdicts
+// plus an operational error, both of which matter.
+type verifier struct{}
+
+func (verifier) VerifyOpeningBatch(n int) ([]error, error) { return nil, nil }
+func (verifier) VerifyBoundBatch(n int) ([]error, error)   { return nil, nil }
+
+// gauge has a same-named method without an error result: never flagged.
+type gauge struct{}
+
+func (gauge) VerifyOpeningBatch(n int) int { return n }
+
+func discardsBatchVerdicts(v verifier) {
+	v.VerifyOpeningBatch(4)  // want errignored
+	go v.VerifyBoundBatch(4) // want errignored
+}
+
+func handlesBatchVerdicts(v verifier) error {
+	if _, err := v.VerifyOpeningBatch(4); err != nil {
+		return err
+	}
+	_, _ = v.VerifyBoundBatch(4) // explicit discard is accepted
+	return nil
+}
+
+func batchVoidLookalikes(g gauge) {
+	g.VerifyOpeningBatch(4)
+}

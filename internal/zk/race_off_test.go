@@ -1,0 +1,8 @@
+//go:build !race
+
+package zk
+
+// raceEnabled reports whether the race detector instruments this build.
+// Timing gates skip under -race: instrumentation taxes the two verify
+// paths unevenly, so their ratio stops measuring the algorithms.
+const raceEnabled = false

@@ -20,6 +20,7 @@
 package zk
 
 import (
+	"crypto/rand"
 	"errors"
 	"fmt"
 	"io"
@@ -33,6 +34,59 @@ import (
 // ErrInvalidProof is returned whenever verification fails.
 var ErrInvalidProof = errors.New("zk: proof verification failed")
 
+// scalarOK reports whether a proof scalar (response or challenge) is a
+// canonical element of Z_Q. Verifiers reject non-canonical scalars:
+// z and z+Q satisfy the same equations, so accepting both would make
+// every proof malleable (and break batch-verifier folding, which sums
+// scalars before reducing).
+func scalarOK(g *group.Group, v *big.Int) bool {
+	return v != nil && v.Sign() >= 0 && v.Cmp(g.Q) < 0
+}
+
+// challengeBits is the Fiat–Shamir challenge width. A Σ-protocol's
+// soundness is the size of its challenge space, not the group order, so
+// 128-bit challenges give the same 2^-128 forgery bound as the batch
+// verifier's RLC coefficients — while keeping every challenge-side
+// exponentiation (y^c in sequential verification, the C^{ρ·c} terms of
+// the batched fold) at quarter width instead of full group-order width.
+const challengeBits = 128
+
+// challengeWidth returns the challenge bit width for a group: 128,
+// clamped below the group order for small test groups.
+func challengeWidth(g *group.Group) int {
+	if qb := g.Q.BitLen() - 1; qb < challengeBits {
+		return qb
+	}
+	return challengeBits
+}
+
+// challengeScalar hashes a transcript to a challenge in [0, 2^width).
+func challengeScalar(g *group.Group, domain string, parts ...[]byte) *big.Int {
+	c := g.HashToScalar(domain, parts...)
+	mask := new(big.Int).Lsh(big.NewInt(1), uint(challengeWidth(g)))
+	mask.Sub(mask, big.NewInt(1))
+	return c.And(c, mask)
+}
+
+// randChallenge samples a uniform element of the challenge space (the
+// CDS OR-composition simulates the false branch with a random
+// challenge share).
+func randChallenge(g *group.Group, rng io.Reader) (*big.Int, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	max := new(big.Int).Lsh(big.NewInt(1), uint(challengeWidth(g)))
+	return rand.Int(rng, max)
+}
+
+// challengeOK reports whether a challenge share lies in the challenge
+// space; VerifyBit insists on it so a cheating prover cannot smuggle in
+// full-width challenge exponents (slowing verification) or non-canonical
+// encodings of the same share.
+func challengeOK(g *group.Group, v *big.Int) bool {
+	return v != nil && v.Sign() >= 0 && v.BitLen() <= challengeWidth(g)
+}
+
 // DlogProof is a Schnorr proof of knowledge of x such that y = base^x.
 type DlogProof struct {
 	A *big.Int // announcement base^k
@@ -41,11 +95,18 @@ type DlogProof struct {
 
 // ProveDlog proves knowledge of x with y = base^x in g's order-q subgroup.
 func ProveDlog(g *group.Group, base, y, x *big.Int, ctx string, rng io.Reader) (DlogProof, error) {
+	return proveDlogWith(g, func(e *big.Int) *big.Int { return g.Exp(base, e) }, base, y, x, ctx, rng)
+}
+
+// proveDlogWith is ProveDlog with a caller-supplied exponentiation for
+// the (fixed) base, so callers with a precomputed window table (the
+// equality proof's h) skip the square-and-multiply ladder.
+func proveDlogWith(g *group.Group, expBase func(*big.Int) *big.Int, base, y, x *big.Int, ctx string, rng io.Reader) (DlogProof, error) {
 	k, err := g.RandScalar(rng)
 	if err != nil {
 		return DlogProof{}, err
 	}
-	a := g.Exp(base, k)
+	a := expBase(k)
 	c := dlogChallenge(g, base, y, a, ctx)
 	z := new(big.Int).Mul(c, x)
 	z.Add(z, k)
@@ -55,11 +116,15 @@ func ProveDlog(g *group.Group, base, y, x *big.Int, ctx string, rng io.Reader) (
 
 // VerifyDlog checks a Schnorr proof.
 func VerifyDlog(g *group.Group, base, y *big.Int, p DlogProof, ctx string) error {
-	if p.A == nil || p.Z == nil || !g.Contains(p.A) {
+	return verifyDlogWith(g, func(e *big.Int) *big.Int { return g.Exp(base, e) }, base, y, p, ctx)
+}
+
+func verifyDlogWith(g *group.Group, expBase func(*big.Int) *big.Int, base, y *big.Int, p DlogProof, ctx string) error {
+	if p.A == nil || !g.Contains(p.A) || !scalarOK(g, p.Z) {
 		return ErrInvalidProof
 	}
 	c := dlogChallenge(g, base, y, p.A, ctx)
-	lhs := g.Exp(base, p.Z)
+	lhs := expBase(p.Z)
 	rhs := g.Mul(p.A, g.Exp(y, c))
 	// Constant-time: verifiers run on attacker-supplied proofs, and an
 	// early-exit compare would leak how much of a forgery matched.
@@ -70,7 +135,7 @@ func VerifyDlog(g *group.Group, base, y *big.Int, p DlogProof, ctx string) error
 }
 
 func dlogChallenge(g *group.Group, base, y, a *big.Int, ctx string) *big.Int {
-	return g.HashToScalar("zk/dlog", []byte(ctx), base.Bytes(), y.Bytes(), a.Bytes())
+	return challengeScalar(g, "zk/dlog", []byte(ctx), base.Bytes(), y.Bytes(), a.Bytes())
 }
 
 // OpeningProof proves knowledge of (m, r) with C = g^m h^r.
@@ -105,7 +170,7 @@ func ProveOpening(p *commit.Params, c commit.Commitment, o commit.Opening, ctx s
 // VerifyOpening checks an opening-knowledge proof.
 func VerifyOpening(p *commit.Params, c commit.Commitment, pr OpeningProof, ctx string) error {
 	g := p.Group
-	if pr.A == nil || pr.Z1 == nil || pr.Z2 == nil || !g.Contains(pr.A) {
+	if pr.A == nil || !g.Contains(pr.A) || !scalarOK(g, pr.Z1) || !scalarOK(g, pr.Z2) {
 		return ErrInvalidProof
 	}
 	ch := openingChallenge(p, c, pr.A, ctx)
@@ -119,7 +184,7 @@ func VerifyOpening(p *commit.Params, c commit.Commitment, pr OpeningProof, ctx s
 }
 
 func openingChallenge(p *commit.Params, c commit.Commitment, a *big.Int, ctx string) *big.Int {
-	return p.Group.HashToScalar("zk/opening", []byte(ctx), p.G.Bytes(), p.H.Bytes(), c.C.Bytes(), a.Bytes())
+	return challengeScalar(p.Group, "zk/opening", []byte(ctx), p.G.Bytes(), p.H.Bytes(), c.C.Bytes(), a.Bytes())
 }
 
 // EqualProof proves two commitments hide the same message: it is a Schnorr
@@ -140,7 +205,7 @@ func ProveEqual(p *commit.Params, c1, c2 commit.Commitment, o1, o2 commit.Openin
 	y := p.Group.Div(c1.C, c2.C)
 	x := new(big.Int).Sub(o1.R, o2.R)
 	x.Mod(x, p.Group.Q)
-	pr, err := ProveDlog(p.Group, p.H, y, x, "equal/"+ctx, rng)
+	pr, err := proveDlogWith(p.Group, p.ExpH, p.H, y, x, equalCtx(c1, c2, ctx), rng)
 	if err != nil {
 		return EqualProof{}, err
 	}
@@ -149,15 +214,33 @@ func ProveEqual(p *commit.Params, c1, c2 commit.Commitment, o1, o2 commit.Openin
 
 // VerifyEqual checks an equality proof.
 func VerifyEqual(p *commit.Params, c1, c2 commit.Commitment, pr EqualProof, ctx string) error {
+	if c1.C == nil || c2.C == nil {
+		return ErrInvalidProof
+	}
 	y := p.Group.Div(c1.C, c2.C)
-	return VerifyDlog(p.Group, p.H, y, pr.Proof, "equal/"+ctx)
+	return verifyDlogWith(p.Group, p.ExpH, p.H, y, pr.Proof, equalCtx(c1, c2, ctx))
+}
+
+// equalCtx binds an equality proof to BOTH commitments, not just the
+// quotient statement the inner dlog proof sees. Without it a proof for
+// (c1, c2) replays against any pair with the same quotient — e.g.
+// (c1·t, c2·t) for arbitrary t — silently "proving" equality of
+// commitments the prover never opened. Hex encoding with "/" separators
+// keeps the binding unambiguous.
+func equalCtx(c1, c2 commit.Commitment, ctx string) string {
+	return fmt.Sprintf("equal/%x/%x/%s", c1.C, c2.C, ctx)
 }
 
 // BitProof proves a commitment hides 0 or 1 via a CDS OR-composition of
-// two Schnorr proofs: C = h^r (bit 0) OR C/g = h^r (bit 1).
+// two Schnorr proofs: C = h^r (bit 0) OR C/g = h^r (bit 1). The
+// challenge shares split the global challenge by XOR (GF(2)^t secret
+// sharing) rather than addition mod Q: either share still uniquely
+// determines the other given the global challenge — all CDS needs —
+// while both shares stay inside the short challenge space, keeping the
+// y^c verification exponents quarter-width.
 type BitProof struct {
 	A0, A1 *big.Int // per-branch announcements
-	C0, C1 *big.Int // per-branch challenges (sum to the global challenge)
+	C0, C1 *big.Int // per-branch challenges (XOR to the global challenge)
 	Z0, Z1 *big.Int // per-branch responses
 }
 
@@ -169,10 +252,10 @@ func ProveBit(p *commit.Params, c commit.Commitment, o commit.Opening, ctx strin
 		return BitProof{}, fmt.Errorf("zk: message %v is not a bit", o.M)
 	}
 	y0 := new(big.Int).Set(c.C) // statement for bit 0: y0 = h^r
-	y1 := g.Div(c.C, p.G)       // statement for bit 1: y1 = h^r
+	y1 := g.Mul(c.C, p.GInv())  // statement for bit 1: y1 = C/g = h^r
 	var proof BitProof
 	// Simulate the false branch, run the real protocol on the true branch.
-	simC, err := g.RandScalar(rng)
+	simC, err := randChallenge(g, rng)
 	if err != nil {
 		return BitProof{}, err
 	}
@@ -195,8 +278,7 @@ func ProveBit(p *commit.Params, c commit.Commitment, o commit.Opening, ctx strin
 		proof.A0 = g.Mul(p.ExpH(simZ), g.Exp(y0, new(big.Int).Neg(simC)))
 	}
 	ch := bitChallenge(p, c, proof.A0, proof.A1, ctx)
-	real := new(big.Int).Sub(ch, simC)
-	real.Mod(real, g.Q)
+	real := new(big.Int).Xor(ch, simC)
 	z := new(big.Int).Mul(real, o.R)
 	z.Add(z, k)
 	z.Mod(z, g.Q)
@@ -211,21 +293,18 @@ func ProveBit(p *commit.Params, c commit.Commitment, o commit.Opening, ctx strin
 // VerifyBit checks a bit proof.
 func VerifyBit(p *commit.Params, c commit.Commitment, pr BitProof, ctx string) error {
 	g := p.Group
-	for _, v := range []*big.Int{pr.A0, pr.A1, pr.C0, pr.C1, pr.Z0, pr.Z1} {
-		if v == nil {
-			return ErrInvalidProof
-		}
+	if err := bitShapeCheck(p, pr); err != nil {
+		return err
 	}
 	ch := bitChallenge(p, c, pr.A0, pr.A1, ctx)
-	sum := new(big.Int).Add(pr.C0, pr.C1)
-	sum.Mod(sum, g.Q)
+	split := new(big.Int).Xor(pr.C0, pr.C1)
 	// Constant-time compares of the challenge split and both verification
 	// equations (see VerifyDlog).
-	if !ct.BigEqual(sum, ch) {
+	if !ct.BigEqual(split, ch) {
 		return ErrInvalidProof
 	}
 	y0 := new(big.Int).Set(c.C)
-	y1 := g.Div(c.C, p.G)
+	y1 := g.Mul(c.C, p.GInv())
 	// h^z0 == A0 · y0^c0
 	lhs0 := p.ExpH(pr.Z0)
 	rhs0 := g.Mul(pr.A0, g.Exp(y0, pr.C0))
@@ -240,8 +319,30 @@ func VerifyBit(p *commit.Params, c commit.Commitment, pr BitProof, ctx string) e
 	return nil
 }
 
+// bitShapeCheck rejects structurally malformed bit proofs before any
+// equation is evaluated: announcements must live in the order-Q
+// subgroup (an order-2 element would let a cheater flip signs) and all
+// scalars must be canonical Z_Q elements (see scalarOK). Shared by
+// VerifyBit and the batch verifier, which folds equations and therefore
+// never re-discovers shape problems on its own.
+func bitShapeCheck(p *commit.Params, pr BitProof) error {
+	g := p.Group
+	if pr.A0 == nil || pr.A1 == nil || !g.Contains(pr.A0) || !g.Contains(pr.A1) {
+		return ErrInvalidProof
+	}
+	if !challengeOK(g, pr.C0) || !challengeOK(g, pr.C1) {
+		return ErrInvalidProof
+	}
+	for _, v := range []*big.Int{pr.Z0, pr.Z1} {
+		if !scalarOK(g, v) {
+			return ErrInvalidProof
+		}
+	}
+	return nil
+}
+
 func bitChallenge(p *commit.Params, c commit.Commitment, a0, a1 *big.Int, ctx string) *big.Int {
-	return p.Group.HashToScalar("zk/bit", []byte(ctx), c.C.Bytes(), a0.Bytes(), a1.Bytes())
+	return challengeScalar(p.Group, "zk/bit", []byte(ctx), c.C.Bytes(), a0.Bytes(), a1.Bytes())
 }
 
 // RangeProof proves a commitment hides a value in [0, 2^n).
@@ -303,7 +404,10 @@ func ProveRange(p *commit.Params, c commit.Commitment, o commit.Opening, nBits i
 // VerifyRange checks that c hides a value in [0, 2^nBits).
 func VerifyRange(p *commit.Params, c commit.Commitment, nBits int, pr RangeProof, ctx string) error {
 	g := p.Group
-	if len(pr.Bits) != nBits || len(pr.BitProofs) != nBits || nBits < 1 {
+	// The width cap mirrors ProveRange: no honest proof exceeds 128 bits,
+	// and bounding it here keeps attacker-chosen nBits from driving
+	// unbounded verification work.
+	if len(pr.Bits) != nBits || len(pr.BitProofs) != nBits || nBits < 1 || nBits > 128 {
 		return ErrInvalidProof
 	}
 	// Each bit commitment must be well-formed and prove to a bit.
